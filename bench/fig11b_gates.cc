@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 11b reproduction (google-benchmark): raw gate latencies —
+ * plain function call, MPK light gate, MPK DSS gate, EPT RPC gate,
+ * and Linux system calls with/without KPTI.
+ *
+ * The `vcycles` counter is virtual cycles per gate round trip; paper
+ * values: function 2, MPK-light 62, MPK-dss 108, EPT 462, syscall 470,
+ * syscall-nokpti 146.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/deploy.hh"
+
+using namespace flexos;
+
+namespace {
+
+std::string
+twoComp(const char *mech, const char *gateFlavor = nullptr)
+{
+    std::string text = std::string(R"(
+compartments:
+- c1:
+    mechanism: )") + mech + R"(
+    default: True
+- c2:
+    mechanism: )" + mech + R"(
+libraries:
+- libredis: c1
+- lwip: c2
+)";
+    if (gateFlavor)
+        text += std::string("mpk_gate: ") + gateFlavor + "\n";
+    return text;
+}
+
+/** Average virtual cycles of one cross-compartment gate round trip. */
+double
+gateCost(const std::string &cfgText, bool sameCompartment = false,
+         bool noKpti = false)
+{
+    DeployOptions opts;
+    opts.withNet = false;
+    opts.withFs = false;
+    if (noKpti) {
+        // Reboot with KPTI disabled: syscalls get the cheap path.
+        opts.timing.syscallKpti = opts.timing.syscallNoKpti;
+    }
+    Deployment dep(cfgText, opts);
+
+    const std::string callee = sameCompartment ? "libredis" : "lwip";
+    const char *entry = sameCompartment ? "redis_main" : "recv";
+    constexpr std::uint64_t iters = 2000;
+
+    Cycles measured = 0;
+    bool done = false;
+    dep.image().spawnIn("libredis", "gate-bench", [&] {
+        Machine &m = dep.machine();
+        Cycles before = m.cycles();
+        for (std::uint64_t i = 0; i < iters; ++i)
+            dep.image().gate(callee, entry, [] {});
+        measured = m.cycles() - before;
+        done = true;
+    });
+    dep.scheduler().runUntil([&] { return done; });
+    return static_cast<double>(measured) / static_cast<double>(iters);
+}
+
+void
+gateBench(benchmark::State &state, const std::string &cfg,
+          bool sameComp, bool noKpti)
+{
+    double perOp = gateCost(cfg, sameComp, noKpti);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(perOp);
+    state.counters["vcycles"] = perOp;
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(gateBench, function_call, twoComp("intel-mpk"), true,
+                  false);
+BENCHMARK_CAPTURE(gateBench, mpk_light, twoComp("intel-mpk", "light"),
+                  false, false);
+BENCHMARK_CAPTURE(gateBench, mpk_dss, twoComp("intel-mpk", "dss"), false,
+                  false);
+BENCHMARK_CAPTURE(gateBench, ept, twoComp("vm-ept"), false, false);
+BENCHMARK_CAPTURE(gateBench, syscall, twoComp("linux-pt"), false, false);
+BENCHMARK_CAPTURE(gateBench, syscall_nokpti, twoComp("linux-pt"), false,
+                  true);
+BENCHMARK_CAPTURE(gateBench, sel4_ipc, twoComp("sel4-ipc"), false,
+                  false);
+BENCHMARK_CAPTURE(gateBench, cubicle_pkey_mprotect,
+                  twoComp("cubicle-mpk"), false, false);
+BENCHMARK_CAPTURE(gateBench, cheri_sketch, twoComp("cheri"), false,
+                  false);
+
+BENCHMARK_MAIN();

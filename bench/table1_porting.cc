@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table 1 reproduction: porting effort per component — patch size
+ * (including automatic gate replacements) and the number of manually
+ * annotated shared variables — as recorded in the library registry,
+ * plus the toolchain's view of how many annotations it instantiates
+ * for a representative configuration.
+ */
+
+#include <cstdio>
+
+#include "core/toolchain.hh"
+
+using namespace flexos;
+
+int
+main()
+{
+    LibraryRegistry reg = LibraryRegistry::standard();
+
+    std::printf("=== Table 1: porting effort ===\n");
+    std::printf("%-28s %-14s %s\n", "Libs/Apps", "Patch size",
+                "Shared vars");
+
+    struct Entry
+    {
+        const char *label;
+        const char *lib;
+    };
+    const Entry entries[] = {
+        {"TCP/IP stack (LwIP)", "lwip"},
+        {"scheduler (uksched)", "uksched"},
+        {"filesystem (ramfs, vfscore)", "vfscore"},
+        {"time subsystem (uktime)", "uktime"},
+        {"Redis", "libredis"},
+        {"Nginx", "libnginx"},
+        {"SQLite", "libsqlite"},
+        {"iPerf", "libiperf"},
+    };
+    for (const Entry &e : entries) {
+        const LibraryInfo &info = reg.get(e.lib);
+        std::printf("%-28s +%-5d/ -%-5d %d\n", e.label, info.patchAdded,
+                    info.patchRemoved, info.sharedVars);
+    }
+
+    // Demonstrate the build-time instantiation: how many annotations
+    // and gates the toolchain touches for a simple Redis configuration
+    // (the paper reports ~1 KLoC of generated modification).
+    Machine mach;
+    MachineScope scope(mach);
+    Scheduler sched(mach);
+    Toolchain tc(reg);
+    SafetyConfig cfg = SafetyConfig::parse(R"(
+compartments:
+- comp1:
+    mechanism: intel-mpk
+    default: True
+- comp2:
+    mechanism: intel-mpk
+libraries:
+- libredis: comp1
+- newlib: comp1
+- uksched: comp1
+- uktime: comp1
+- lwip: comp2
+)");
+    cfg.heapBytes = 1 << 20;
+    cfg.sharedHeapBytes = 1 << 20;
+    auto img = tc.build(mach, sched, cfg);
+    std::printf("\ntoolchain build for a 2-compartment Redis image:\n");
+    std::printf("  gates instantiated:       %d\n",
+                tc.report().gatesInserted);
+    std::printf("  annotations instantiated: %d\n",
+                tc.report().annotationsReplaced);
+    std::printf("  transformation log lines: %zu\n",
+                tc.report().transformations.size());
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Use case (paper section 7): quickly isolate an exploitable library.
+ *
+ * libopenjpg has a known memory-corruption bug (planted here as a rogue
+ * pointer read into another component's heap). Before the fix ships,
+ * rebuild the image with the vulnerable library in its own hardened
+ * compartment: the exploit now faults at the compartment boundary
+ * instead of leaking the application's secrets.
+ */
+
+#include <cstdio>
+
+#include "apps/deploy.hh"
+
+using namespace flexos;
+
+namespace {
+
+/** The "exploit": from inside libopenjpg, read the app's secret. */
+bool
+runExploit(Deployment &dep, int *secret)
+{
+    bool leaked = false;
+    bool done = false;
+    dep.image().spawnIn("libopenjpg", "decoder", [&] {
+        try {
+            // A corrupted offset walks right into libredis' heap.
+            int value = dep.image().load(secret);
+            std::printf("  exploit read the secret: %d\n", value);
+            leaked = true;
+        } catch (const ProtectionFault &f) {
+            std::printf("  exploit stopped: %s\n", f.what());
+        }
+        done = true;
+    });
+    dep.scheduler().runUntil([&] { return done; });
+    return leaked;
+}
+
+int *
+plantSecret(Deployment &dep)
+{
+    auto *secret =
+        static_cast<int *>(dep.image().heapOf("libredis").alloc(16));
+    bool done = false;
+    dep.image().spawnIn("libredis", "app", [&] {
+        dep.image().store(secret, 0x5ec12e7);
+        done = true;
+    });
+    dep.scheduler().runUntil([&] { return done; });
+    return secret;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("vulnerability window, day 0: everything in one "
+                "compartment\n");
+    {
+        Deployment dep(R"(
+compartments:
+- all:
+    mechanism: none
+    default: True
+libraries:
+- libredis: all
+- newlib: all
+- libopenjpg: all
+)",
+                       DeployOptions{.withNet = false, .withFs = false});
+        int *secret = plantSecret(dep);
+        bool leaked = runExploit(dep, secret);
+        std::printf("  -> %s\n\n",
+                    leaked ? "SECRET LEAKED" : "contained");
+    }
+
+    std::printf("five minutes later: rebuild with libopenjpg in its own "
+                "compartment (one config edit, zero code changes)\n");
+    {
+        Deployment dep(R"(
+compartments:
+- comp1:
+    mechanism: intel-mpk
+    default: True
+- jail:
+    mechanism: intel-mpk
+    hardening: [cfi, kasan]
+libraries:
+- libredis: comp1
+- newlib: comp1
+- libopenjpg: jail
+)",
+                       DeployOptions{.withNet = false, .withFs = false});
+        int *secret = plantSecret(dep);
+        bool leaked = runExploit(dep, secret);
+        std::printf("  -> %s\n", leaked ? "SECRET LEAKED"
+                                        : "exploit contained by MPK "
+                                          "compartment");
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Quickstart: build a two-compartment MPK image from the paper's
+ * example configuration, boot it, run a Redis server inside, and talk
+ * RESP to it over the TCP stack. Prints the toolchain's transformation
+ * report and the gate-crossing counters so you can see the isolation
+ * working.
+ */
+
+#include <cstdio>
+
+#include "apps/deploy.hh"
+#include "apps/redis.hh"
+
+using namespace flexos;
+
+int
+main()
+{
+    // The safety configuration is data, not design: change the
+    // mechanism or move a library and rebuild — nothing else changes.
+    const char *config = R"(
+compartments:
+- comp1:
+    mechanism: intel-mpk
+    default: True
+- comp2:
+    mechanism: intel-mpk
+    hardening: [cfi, kasan]
+libraries:
+- libredis: comp1
+- newlib: comp1
+- uksched: comp1
+- uktime: comp1
+- lwip: comp2
+)";
+
+    Deployment dep(config);
+    std::printf("built image with backend: %s\n",
+                dep.toolchain().report().backendName.c_str());
+    std::printf("gates instantiated: %d, annotations: %d\n\n",
+                dep.toolchain().report().gatesInserted,
+                dep.toolchain().report().annotationsReplaced);
+    std::printf("--- generated linker script ---\n%s\n",
+                dep.image().linkerScript().c_str());
+
+    dep.start();
+    RedisServer server(dep.libc(), 6379);
+    server.start();
+
+    std::string reply;
+    Thread *cli = dep.scheduler().spawn("client", [&] {
+        TcpSocket *s =
+            dep.clientStack().connect(makeIp(10, 0, 0, 1), 6379);
+        std::string wire =
+            RespParser::command({"SET", "greeting", "hello, flexos"}) +
+            RespParser::command({"GET", "greeting"});
+        s->send(wire.data(), wire.size());
+        char buf[256];
+        while (reply.find("flexos") == std::string::npos) {
+            long n = s->recv(buf, sizeof(buf));
+            if (n <= 0)
+                break;
+            reply.append(buf, static_cast<std::size_t>(n));
+        }
+        s->close();
+    });
+    cli->freeRunning = true;
+    dep.scheduler().runUntil(
+        [&] { return reply.find("flexos") != std::string::npos; });
+
+    std::printf("server replied: %s\n", reply.c_str());
+    std::printf("MPK gate crossings: %llu\n",
+                static_cast<unsigned long long>(
+                    dep.machine().counter("gate.mpk.dss")));
+    std::printf("virtual time elapsed: %.3f ms\n",
+                dep.machine().seconds() * 1e3);
+    server.stop();
+    dep.stop();
+    return 0;
+}

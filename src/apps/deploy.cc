@@ -1,0 +1,145 @@
+#include "apps/deploy.hh"
+
+#include "base/logging.hh"
+#include "net/proto.hh"
+
+namespace flexos {
+
+Deployment::Deployment(const std::string &configText, DeployOptions opts)
+    : reg(LibraryRegistry::standard())
+{
+    init(SafetyConfig::parse(configText), opts);
+}
+
+Deployment::Deployment(SafetyConfig cfg, DeployOptions opts)
+    : reg(LibraryRegistry::standard())
+{
+    init(std::move(cfg), opts);
+}
+
+void
+Deployment::init(SafetyConfig cfg, const DeployOptions &opts)
+{
+    mach = std::make_unique<Machine>(opts.timing);
+    scope = std::make_unique<MachineScope>(*mach);
+    sched = std::make_unique<Scheduler>(*mach);
+    tc = std::make_unique<Toolchain>(reg);
+
+    cfg.heapBytes = opts.heapBytes;
+    cfg.sharedHeapBytes = opts.sharedHeapBytes;
+    img = tc->build(*mach, *sched, cfg);
+
+    if (opts.withNet) {
+        link = std::make_unique<Link>();
+        serverNet = std::make_unique<NetStack>(*mach, *sched,
+                                               link->endA(),
+                                               makeIp(10, 0, 0, 1));
+        clientNet = std::make_unique<NetStack>(*mach, *sched,
+                                               link->endB(),
+                                               makeIp(10, 0, 0, 2));
+        // The client stack models the benchmark machine: its timers
+        // must fire promptly relative to server virtual time.
+        clientNet->baseRtoNs = 5'000'000;
+        serverNet->baseRtoNs = 5'000'000;
+    }
+
+    if (opts.withFs) {
+        // Filesystem storage comes from the fs compartment's allocator
+        // (vfscore+ramfs are one component, paper 4.4) — or a Lea
+        // instance for the CubicleOS baseline.
+        Allocator *fsAlloc = nullptr;
+        if (opts.fsAllocator == DeployOptions::FsAllocator::Lea) {
+            leaFsAlloc =
+                std::make_unique<LeaAllocator>(16 * 1024 * 1024);
+            fsAlloc = leaFsAlloc.get();
+        } else {
+            bool fsInImage = false;
+            for (const auto &[lib, comp] : img->config().libraries)
+                if (lib == "vfscore")
+                    fsInImage = true;
+            if (fsInImage)
+                fsAlloc = &img->heapOf("vfscore");
+        }
+        fsRoot = makeRamfs(fsAlloc);
+        fs = std::make_unique<Vfs>(fsRoot);
+    }
+
+    libcApi = std::make_unique<LibcApi>(*img, serverNet.get(), fs.get());
+}
+
+Deployment::~Deployment()
+{
+    stop();
+    // Teardown order matters: the filesystem returns its blocks to the
+    // vfscore compartment's allocator, so it must die before the image;
+    // the image (backend threads, regions) before scheduler and scope.
+    libcApi.reset();
+    fs.reset();
+    fsRoot.reset();
+    img.reset();
+    sched.reset();
+    scope.reset();
+}
+
+void
+Deployment::start()
+{
+    if (!serverNet || pollersRunning)
+        return;
+    stopPollers = false;
+
+    // The server-side poller is lwip code: it runs in lwip's
+    // compartment so its packet work is charged (and hardened) there.
+    bool lwipInImage = false;
+    for (const auto &[lib, comp] : img->config().libraries)
+        if (lib == "lwip")
+            lwipInImage = true;
+    auto pollBody = [this] {
+        while (!stopPollers) {
+            serverNet->pollOnce();
+            sched->yield();
+        }
+    };
+    if (lwipInImage)
+        img->spawnIn("lwip", "lwip-poll", pollBody);
+    else
+        sched->spawn("lwip-poll", pollBody);
+
+    // The client poller models the load-generator machine: free.
+    Thread *cp = sched->spawn("client-poll", [this] {
+        while (!stopPollers) {
+            clientNet->pollOnce();
+            sched->yield();
+        }
+    });
+    cp->freeRunning = true;
+    pollersRunning = true;
+}
+
+void
+Deployment::stop()
+{
+    if (!pollersRunning)
+        return;
+    stopPollers = true;
+    // Give the pollers a chance to observe the flag and exit.
+    sched->runUntil([] { return false; }, 64);
+    pollersRunning = false;
+}
+
+void
+Deployment::writeFile(const std::string &path, const std::string &content)
+{
+    panic_if(!fs, "deployment has no filesystem");
+    // Create parent directories as needed (single level is enough for
+    // the bundled workloads).
+    auto slash = path.find_last_of('/');
+    if (slash != std::string::npos && slash > 0)
+        fs->mkdir(path.substr(0, slash));
+    int fd = fs->open(path, oCreat | oWrOnly | oTrunc);
+    panic_if(fd < 0, "cannot create ", path);
+    fs->write(fd, content.data(), content.size());
+    fs->close(fd);
+}
+
+} // namespace flexos

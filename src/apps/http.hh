@@ -1,0 +1,97 @@
+/**
+ * @file
+ * libnginx: an Nginx-like HTTP/1.1 static file server over the TCP
+ * stack and the VFS, plus a wrk-style load generator.
+ *
+ * Unlike Redis, the HTTP hot path leans on vfscore (file reads) and
+ * performs fewer scheduler interactions per request — the communication
+ * pattern behind the paper's observation that isolating the scheduler
+ * costs Nginx 6% vs. Redis' 43% (6.1).
+ */
+
+#ifndef FLEXOS_APPS_HTTP_HH
+#define FLEXOS_APPS_HTTP_HH
+
+#include <optional>
+#include <string>
+
+#include "apps/libc.hh"
+
+namespace flexos {
+
+/** A parsed HTTP request line + headers. */
+struct HttpRequest
+{
+    std::string method;
+    std::string path;
+    std::string version;
+    bool keepAlive = true;
+};
+
+/**
+ * Incremental HTTP/1.1 request parser (GET/HEAD, no bodies).
+ */
+class HttpParser
+{
+  public:
+    void feed(const char *data, std::size_t n);
+    std::optional<HttpRequest> next();
+    bool errored() const { return hasError; }
+
+  private:
+    std::string buf;
+    std::vector<HttpRequest> ready;
+    bool hasError = false;
+};
+
+/** Build an HTTP response head. */
+std::string httpResponseHead(int status, const std::string &reason,
+                             std::size_t contentLength, bool keepAlive);
+
+/**
+ * The HTTP server: serves files from the VFS document root.
+ */
+class HttpServer
+{
+  public:
+    HttpServer(LibcApi &libc, std::string docRoot = "/www",
+               std::uint16_t port = 80);
+
+    void start();
+    void stop() { stopping = true; }
+
+    std::uint64_t requestsServed() const { return served; }
+
+  private:
+    void acceptLoop();
+    void serveConnection(TcpSocket *conn);
+    std::string handle(const HttpRequest &req, bool &keepAlive);
+
+    LibcApi &libc;
+    std::string docRoot;
+    std::uint16_t port;
+    bool stopping = false;
+    std::uint64_t served = 0;
+};
+
+/** wrk-style benchmark result. */
+struct HttpBenchmarkResult
+{
+    std::uint64_t requests = 0;
+    double seconds = 0;
+    double requestsPerSec = 0;
+};
+
+/**
+ * Drive pipelined keep-alive GETs from a free-running client thread.
+ */
+HttpBenchmarkResult runHttpBenchmark(Image &img, LibcApi &serverLibc,
+                                     NetStack &clientStack,
+                                     std::uint64_t requests,
+                                     const std::string &path = "/index.html",
+                                     unsigned pipeline = 4,
+                                     std::uint16_t port = 80);
+
+} // namespace flexos
+
+#endif // FLEXOS_APPS_HTTP_HH

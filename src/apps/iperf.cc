@@ -1,0 +1,69 @@
+#include "apps/iperf.hh"
+
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace flexos {
+
+IperfResult
+runIperf(Image &img, LibcApi &serverLibc, NetStack &clientStack,
+         std::uint64_t totalBytes, std::size_t recvBufSize,
+         std::uint16_t port)
+{
+    Scheduler &sched = img.scheduler();
+    Machine &mach = img.machine();
+
+    std::uint64_t received = 0;
+    bool serverDone = false;
+    Cycles startCycles = 0;
+    bool firstByte = true;
+
+    img.spawnIn("libiperf", "iperf-server", [&] {
+        TcpSocket *listener = serverLibc.listen(port);
+        TcpSocket *conn = serverLibc.accept(listener);
+        std::vector<char> buf(recvBufSize);
+        long n;
+        while ((n = serverLibc.recv(conn, buf.data(), buf.size())) > 0) {
+            if (firstByte) {
+                startCycles = mach.cycles();
+                firstByte = false;
+            }
+            received += static_cast<std::uint64_t>(n);
+        }
+        serverLibc.closeSocket(conn);
+        serverDone = true;
+    });
+
+    Thread *client = sched.spawn("iperf-client", [&] {
+        TcpSocket *s =
+            clientStack.connect(serverLibc.netstack()->ip(), port);
+        panic_if(!s, "iperf client could not connect");
+        std::vector<char> chunk(16 * 1024, 'D');
+        std::uint64_t sent = 0;
+        while (sent < totalBytes) {
+            std::size_t n = std::min<std::uint64_t>(chunk.size(),
+                                                    totalBytes - sent);
+            if (s->send(chunk.data(), n) < 0)
+                break;
+            sent += n;
+        }
+        s->close();
+    });
+    client->freeRunning = true;
+
+    bool ok = sched.runUntil([&] { return serverDone; }, 200'000'000);
+    panic_if(!ok, "iperf did not complete");
+
+    IperfResult res;
+    res.bytes = received;
+    res.seconds = static_cast<double>(mach.cycles() - startCycles) /
+                  (mach.timing.cpuGhz * 1e9);
+    res.gbitPerSec =
+        res.seconds > 0
+            ? static_cast<double>(res.bytes) * 8.0 / res.seconds / 1e9
+            : 0;
+    return res;
+}
+
+} // namespace flexos

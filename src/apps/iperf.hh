@@ -1,0 +1,37 @@
+/**
+ * @file
+ * libiperf: the iPerf-style network throughput benchmark (paper 6.3).
+ *
+ * The server recv()s into a configurable buffer; the client pumps bulk
+ * data from a free-running thread. Smaller receive buffers mean more
+ * gate crossings per byte — the batching effect Figure 9 plots.
+ */
+
+#ifndef FLEXOS_APPS_IPERF_HH
+#define FLEXOS_APPS_IPERF_HH
+
+#include "apps/libc.hh"
+
+namespace flexos {
+
+/** Result of one iPerf run. */
+struct IperfResult
+{
+    std::uint64_t bytes = 0;
+    double seconds = 0;
+    double gbitPerSec = 0;
+};
+
+/**
+ * Run an iPerf transfer of totalBytes with the given server-side
+ * receive buffer size. The server runs in libiperf's compartment; the
+ * client is free-running on the peer stack.
+ */
+IperfResult runIperf(Image &img, LibcApi &serverLibc,
+                     NetStack &clientStack, std::uint64_t totalBytes,
+                     std::size_t recvBufSize,
+                     std::uint16_t port = 5201);
+
+} // namespace flexos
+
+#endif // FLEXOS_APPS_IPERF_HH

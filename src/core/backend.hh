@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The isolation-backend API (paper 3.2).
+ *
+ * A backend supplies (1) gate implementations, (2) hooks into core
+ * libraries (scheduler thread-creation/switch), (3) its memory-layout
+ * recipe (how compartment regions are tagged), and (4) registration into
+ * the toolchain. Adding a mechanism means implementing this interface —
+ * no redesign of the OS.
+ */
+
+#ifndef FLEXOS_CORE_BACKEND_HH
+#define FLEXOS_CORE_BACKEND_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/config.hh"
+
+namespace flexos {
+
+class Image;
+
+/**
+ * One isolation mechanism's implementation.
+ */
+class IsolationBackend
+{
+  public:
+    virtual ~IsolationBackend() = default;
+
+    /** Mechanism this backend implements. */
+    virtual Mechanism mechanism() const = 0;
+
+    /** Human-readable name for reports. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Boot-time hook: tag regions, install scheduler hooks, spawn RPC
+     * servers. Called once from Image::boot().
+     */
+    virtual void boot(Image &img) = 0;
+
+    /** Orderly teardown (stop server threads, remove hooks). */
+    virtual void shutdown(Image &img) = 0;
+
+    /**
+     * Execute body in compartment 'to' on behalf of the current thread
+     * running in compartment 'from' — the instantiated call gate.
+     * Charges the gate cost, performs the domain transition, and runs
+     * body under calleeWorkMult (the callee component's hardening tax).
+     */
+    virtual void crossCall(Image &img, int from, int to,
+                           const std::string &calleeLib,
+                           const char *fnName, double calleeWorkMult,
+                           const std::function<void()> &body) = 0;
+
+    /**
+     * Whether the mechanism validates entry points on every crossing
+     * regardless of CFI hardening (the EPT RPC server does, paper 4.2).
+     */
+    virtual bool checksEntryPoints() const { return false; }
+
+    /**
+     * Whether the TCB is replicated into every compartment (paper 3.1:
+     * backends relying on several systems — VMs — duplicate the TCB so
+     * each compartment has a self-contained kernel).
+     */
+    virtual bool replicatesTcb() const { return false; }
+};
+
+/** Instantiate the backend for a mechanism (toolchain registration). */
+std::unique_ptr<IsolationBackend> makeBackend(Mechanism m,
+                                              MpkGateFlavor flavor);
+
+} // namespace flexos
+
+#endif // FLEXOS_CORE_BACKEND_HH

@@ -1,0 +1,281 @@
+#include "core/config.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace flexos {
+
+Mechanism
+mechanismFromName(const std::string &name)
+{
+    std::string n = toLower(trim(name));
+    if (n == "none")
+        return Mechanism::None;
+    if (n == "intel-mpk" || n == "mpk")
+        return Mechanism::IntelMpk;
+    if (n == "vm-ept" || n == "ept")
+        return Mechanism::VmEpt;
+    if (n == "cheri")
+        return Mechanism::Cheri;
+    if (n == "linux-pt")
+        return Mechanism::LinuxPt;
+    if (n == "sel4-ipc")
+        return Mechanism::Sel4Ipc;
+    if (n == "cubicle-mpk")
+        return Mechanism::CubicleMpk;
+    fatal("unknown isolation mechanism '", name, "'");
+}
+
+const char *
+mechanismName(Mechanism m)
+{
+    switch (m) {
+      case Mechanism::None:
+        return "none";
+      case Mechanism::IntelMpk:
+        return "intel-mpk";
+      case Mechanism::VmEpt:
+        return "vm-ept";
+      case Mechanism::Cheri:
+        return "cheri";
+      case Mechanism::LinuxPt:
+        return "linux-pt";
+      case Mechanism::Sel4Ipc:
+        return "sel4-ipc";
+      case Mechanism::CubicleMpk:
+        return "cubicle-mpk";
+    }
+    return "?";
+}
+
+Hardening
+hardeningFromName(const std::string &name)
+{
+    std::string n = toLower(trim(name));
+    if (n == "stack-protector" || n == "stackprotector" || n == "sp")
+        return Hardening::StackProtector;
+    if (n == "ubsan")
+        return Hardening::Ubsan;
+    if (n == "kasan")
+        return Hardening::Kasan;
+    if (n == "asan")
+        return Hardening::Asan;
+    if (n == "cfi")
+        return Hardening::Cfi;
+    fatal("unknown hardening mechanism '", name, "'");
+}
+
+const char *
+hardeningName(Hardening h)
+{
+    switch (h) {
+      case Hardening::StackProtector:
+        return "stack-protector";
+      case Hardening::Ubsan:
+        return "ubsan";
+      case Hardening::Kasan:
+        return "kasan";
+      case Hardening::Asan:
+        return "asan";
+      case Hardening::Cfi:
+        return "cfi";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Parse "[a, b, c]" or "a" into items. */
+std::vector<std::string>
+parseList(const std::string &value)
+{
+    std::string v = trim(value);
+    std::vector<std::string> out;
+    if (!v.empty() && v.front() == '[') {
+        fatal_if(v.back() != ']', "unterminated list: ", v);
+        for (const std::string &item : split(v.substr(1, v.size() - 2), ','))
+            if (!trim(item).empty())
+                out.push_back(trim(item));
+    } else if (!v.empty()) {
+        out.push_back(v);
+    }
+    return out;
+}
+
+bool
+parseBool(const std::string &value)
+{
+    std::string v = toLower(trim(value));
+    return v == "true" || v == "yes" || v == "1";
+}
+
+} // namespace
+
+SafetyConfig
+SafetyConfig::parse(const std::string &text)
+{
+    SafetyConfig cfg;
+    enum class Section { None, Compartments, Libraries } section =
+        Section::None;
+    CompartmentSpec *current = nullptr;
+
+    int lineNo = 0;
+    for (const std::string &rawLine : split(text, '\n')) {
+        ++lineNo;
+        std::string noComment = rawLine.substr(0, rawLine.find('#'));
+        std::string line = trim(noComment);
+        if (line.empty())
+            continue;
+
+        if (line == "compartments:") {
+            section = Section::Compartments;
+            current = nullptr;
+            continue;
+        }
+        if (line == "libraries:") {
+            section = Section::Libraries;
+            current = nullptr;
+            continue;
+        }
+
+        // Top-level scalar options.
+        auto colon = line.find(':');
+        fatal_if(colon == std::string::npos, "config line ", lineNo,
+                 ": expected 'key: value', got '", line, "'");
+        bool isItem = line.front() == '-';
+        std::string key =
+            trim(isItem ? line.substr(1, colon - 1)
+                        : line.substr(0, colon));
+        std::string value = trim(line.substr(colon + 1));
+
+        if (section == Section::None || (!isItem && current == nullptr &&
+                                         section == Section::None)) {
+            fatal("config line ", lineNo, ": '", key,
+                  "' outside any section");
+        }
+
+        if (section == Section::Compartments) {
+            if (isItem) {
+                fatal_if(!value.empty(), "config line ", lineNo,
+                         ": compartment item takes no inline value");
+                cfg.compartments.push_back(CompartmentSpec{});
+                current = &cfg.compartments.back();
+                current->name = key;
+            } else if (current) {
+                if (key == "mechanism") {
+                    current->mechanism = mechanismFromName(value);
+                } else if (key == "default") {
+                    current->isDefault = parseBool(value);
+                } else if (key == "hardening") {
+                    for (const std::string &h : parseList(value))
+                        current->hardening.push_back(
+                            hardeningFromName(h));
+                } else {
+                    fatal("config line ", lineNo,
+                          ": unknown compartment key '", key, "'");
+                }
+            } else if (key == "mpk_gate") {
+                cfg.mpkGate = toLower(value) == "light"
+                                  ? MpkGateFlavor::Light
+                                  : MpkGateFlavor::Dss;
+            } else {
+                fatal("config line ", lineNo, ": stray key '", key, "'");
+            }
+        } else if (section == Section::Libraries) {
+            if (isItem) {
+                fatal_if(value.empty(), "config line ", lineNo,
+                         ": library item needs a compartment");
+                // Value: "compName" or "compName [harden1, harden2]".
+                std::string compName = value;
+                auto bracket = value.find('[');
+                if (bracket != std::string::npos) {
+                    compName = trim(value.substr(0, bracket));
+                    for (const std::string &h :
+                         parseList(value.substr(bracket)))
+                        cfg.libHardening[key].push_back(
+                            hardeningFromName(h));
+                }
+                cfg.libraries.emplace_back(key, compName);
+            } else if (key == "mpk_gate") {
+                cfg.mpkGate = toLower(value) == "light"
+                                  ? MpkGateFlavor::Light
+                                  : MpkGateFlavor::Dss;
+            } else if (key == "stack_sharing") {
+                std::string v = toLower(value);
+                if (v == "heap")
+                    cfg.stackSharing = StackSharing::Heap;
+                else if (v == "dss")
+                    cfg.stackSharing = StackSharing::Dss;
+                else if (v == "shared-stack" || v == "share")
+                    cfg.stackSharing = StackSharing::SharedStack;
+                else
+                    fatal("unknown stack_sharing '", value, "'");
+            } else {
+                fatal("config line ", lineNo, ": stray key '", key, "'");
+            }
+        }
+    }
+
+    fatal_if(cfg.compartments.empty(), "config declares no compartments");
+    return cfg;
+}
+
+std::string
+SafetyConfig::toText() const
+{
+    std::ostringstream oss;
+    oss << "compartments:\n";
+    for (const CompartmentSpec &c : compartments) {
+        oss << "- " << c.name << ":\n";
+        oss << "    mechanism: " << mechanismName(c.mechanism) << "\n";
+        if (c.isDefault)
+            oss << "    default: True\n";
+        if (!c.hardening.empty()) {
+            oss << "    hardening: [";
+            for (std::size_t i = 0; i < c.hardening.size(); ++i) {
+                if (i)
+                    oss << ", ";
+                oss << hardeningName(c.hardening[i]);
+            }
+            oss << "]\n";
+        }
+    }
+    oss << "libraries:\n";
+    for (const auto &[lib, comp] : libraries) {
+        oss << "- " << lib << ": " << comp;
+        auto it = libHardening.find(lib);
+        if (it != libHardening.end() && !it->second.empty()) {
+            oss << " [";
+            for (std::size_t i = 0; i < it->second.size(); ++i) {
+                if (i)
+                    oss << ", ";
+                oss << hardeningName(it->second[i]);
+            }
+            oss << "]";
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+const CompartmentSpec &
+SafetyConfig::compartment(const std::string &name) const
+{
+    for (const CompartmentSpec &c : compartments)
+        if (c.name == name)
+            return c;
+    fatal("unknown compartment '", name, "'");
+}
+
+std::size_t
+SafetyConfig::defaultCompartment() const
+{
+    for (std::size_t i = 0; i < compartments.size(); ++i)
+        if (compartments[i].isDefault)
+            return i;
+    fatal("no default compartment declared");
+}
+
+} // namespace flexos

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Safety configuration: the build-time input that selects the
+ * compartmentalization, the isolation mechanism, the data-sharing
+ * strategy and per-compartment software hardening (paper 3.0).
+ *
+ * The text format is the YAML subset used in the paper:
+ *
+ *     compartments:
+ *     - comp1:
+ *         mechanism: intel-mpk
+ *         default: True
+ *     - comp2:
+ *         mechanism: intel-mpk
+ *         hardening: [cfi, asan]
+ *     libraries:
+ *     - libredis: comp1
+ *     - libopenjpg: comp2
+ *     - lwip: comp2
+ */
+
+#ifndef FLEXOS_CORE_CONFIG_HH
+#define FLEXOS_CORE_CONFIG_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace flexos {
+
+/** Isolation mechanisms understood by the toolchain. */
+enum class Mechanism
+{
+    None,         ///< single protection domain (vanilla Unikraft)
+    IntelMpk,     ///< protection keys, intra-AS (paper 4.1)
+    VmEpt,        ///< one VM per compartment, RPC gates (paper 4.2)
+    Cheri,        ///< capability backend (sketch, paper 4.3)
+    LinuxPt,      ///< baseline: page-table isolation via syscalls
+    Sel4Ipc,      ///< baseline: microkernel IPC (seL4/Genode)
+    CubicleMpk,   ///< baseline: CubicleOS MPK-via-pkey_mprotect
+};
+
+/** MPK gate flavours (paper 4.1). */
+enum class MpkGateFlavor
+{
+    Light, ///< shared stack + registers; raw wrpkru pair (ERIM-like)
+    Dss,   ///< full gate: register save/zero + stack switch (HODOR-like)
+};
+
+/** How shared stack variables are materialized (paper 4.1, Fig. 11a). */
+enum class StackSharing
+{
+    Heap,        ///< convert stack allocations to shared-heap ones
+    Dss,         ///< data shadow stacks
+    SharedStack, ///< share the whole stack (cheapest, least safe)
+};
+
+/** Software hardening mechanisms (paper 4.5). */
+enum class Hardening
+{
+    StackProtector,
+    Ubsan,
+    Kasan,
+    Cfi,
+    Asan, // userland flavour of kasan; same instrumentation point
+};
+
+/** Parse helpers for the enums (fatal on unknown names). */
+Mechanism mechanismFromName(const std::string &name);
+const char *mechanismName(Mechanism m);
+Hardening hardeningFromName(const std::string &name);
+const char *hardeningName(Hardening h);
+
+/** One compartment in the configuration. */
+struct CompartmentSpec
+{
+    std::string name;
+    Mechanism mechanism = Mechanism::IntelMpk;
+    bool isDefault = false;
+    std::vector<Hardening> hardening;
+
+    bool
+    hardenedWith(Hardening h) const
+    {
+        for (Hardening x : hardening)
+            if (x == h)
+                return true;
+        return false;
+    }
+};
+
+/** A full safety configuration. */
+struct SafetyConfig
+{
+    std::vector<CompartmentSpec> compartments;
+    /** library name -> compartment name, in file order. */
+    std::vector<std::pair<std::string, std::string>> libraries;
+
+    /**
+     * Per-library hardening on top of the compartment's (Figure 6
+     * enables hardening per *component*). Config syntax:
+     *     - lwip: comp2 [kasan, ubsan]
+     */
+    std::map<std::string, std::vector<Hardening>> libHardening;
+
+    MpkGateFlavor mpkGate = MpkGateFlavor::Dss;
+    StackSharing stackSharing = StackSharing::Dss;
+
+    /** Per-compartment private heap size (bytes). */
+    std::size_t heapBytes = 8 * 1024 * 1024;
+    /** Shared communication heap size (bytes). */
+    std::size_t sharedHeapBytes = 4 * 1024 * 1024;
+
+    /** Parse the YAML-subset text; fatal on malformed input. */
+    static SafetyConfig parse(const std::string &text);
+
+    /** Serialize back to the config-file format. */
+    std::string toText() const;
+
+    /** Find a compartment spec by name (fatal if missing). */
+    const CompartmentSpec &compartment(const std::string &name) const;
+
+    /** The default compartment's index (fatal if none declared). */
+    std::size_t defaultCompartment() const;
+};
+
+} // namespace flexos
+
+#endif // FLEXOS_CORE_CONFIG_HH

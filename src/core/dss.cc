@@ -1,0 +1,91 @@
+#include "core/dss.hh"
+
+#include <exception>
+
+#include "base/logging.hh"
+
+namespace flexos {
+
+DssFrame::DssFrame(Image &image)
+    : img(image), strategy(img.config().stackSharing)
+{
+    protectorOn = img.currentHardening().stackProtector;
+
+    if (strategy != StackSharing::Heap) {
+        Thread *t = img.scheduler().current();
+        int tid = t ? t->id() : 0;
+        stack = &img.simStackFor(tid, img.currentCompartment());
+        savedTop = stack->top;
+    }
+
+    if (protectorOn) {
+        canary = static_cast<std::uint64_t *>(alloc(sizeof(canaryValue)));
+        *canary = canaryValue;
+    }
+}
+
+DssFrame::~DssFrame() noexcept(false)
+{
+    bool smashed = protectorOn && canary && *canary != canaryValue;
+
+    for (void *p : heapVars)
+        img.sharedFree(p);
+    if (stack)
+        stack->top = savedTop;
+
+    if (smashed) {
+        img.machine().bump("hardening.canarySmashed");
+        // Throwing while another exception unwinds would terminate.
+        if (std::uncaught_exceptions() == 0)
+            throw CanaryViolation("stack smashing detected in DSS frame");
+    }
+}
+
+void *
+DssFrame::alloc(std::size_t n)
+{
+    auto &m = img.machine();
+    if (strategy == StackSharing::Heap) {
+        // The conversion existing frameworks apply: every shared stack
+        // variable becomes a shared-heap allocation (real allocator
+        // cost, one call per variable — paper 6.5).
+        void *p = img.sharedAlloc(n);
+        fatal_if(!p, "shared heap exhausted");
+        heapVars.push_back(p);
+        return p;
+    }
+
+    // Stack-speed allocation: constant cost, compiler-style bump.
+    std::size_t aligned = (n + 15) & ~std::size_t(15);
+    panic_if(stack->top + aligned > SimStack::stackBytes,
+             "simulated stack overflow");
+    void *p = stack->mem.get() + stack->top;
+    stack->top += aligned;
+    m.consume(m.timing.stackAlloc);
+    m.bump("dss.stackAllocs");
+    return p;
+}
+
+void *
+DssFrame::shadowOf(void *priv) const
+{
+    switch (strategy) {
+      case StackSharing::Dss:
+        // shadow(x) = &x + STACK_SIZE (Figure 4).
+        return static_cast<char *>(priv) + SimStack::stackBytes;
+      case StackSharing::SharedStack:
+      case StackSharing::Heap:
+        // The variable itself is already in shared memory.
+        return priv;
+    }
+    return priv;
+}
+
+void
+DssFrame::checkCanary() const
+{
+    if (protectorOn && canary && *canary != canaryValue)
+        throw CanaryViolation("stack smashing detected in DSS frame");
+}
+
+} // namespace flexos

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Software hardening (paper 4.5): functional analogues of the hardening
+ * mechanisms FlexOS can enable per compartment.
+ *
+ * - KASan/ASan: a redzone+quarantine wrapper around the compartment's
+ *   allocator that detects heap overflow and use-after-free on checked
+ *   accesses.
+ * - UBSan: checked integer arithmetic and bounds helpers.
+ * - CFI: call gates validate entry points against the library registry;
+ *   indirect calls validate targets against a registered set.
+ * - Stack protector: canaries on DSS frames.
+ *
+ * Each mechanism also carries a work-multiplier cost (timing.hh) that
+ * the gates apply to the instrumented compartment.
+ */
+
+#ifndef FLEXOS_CORE_HARDENING_HH
+#define FLEXOS_CORE_HARDENING_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "core/config.hh"
+#include "ukalloc/allocator.hh"
+
+namespace flexos {
+
+/** Base class of all hardening-detected violations. */
+class HardeningViolation : public std::runtime_error
+{
+  public:
+    HardeningViolation(const std::string &kind, const std::string &what)
+        : std::runtime_error(kind + ": " + what), kind(kind)
+    {
+    }
+
+    std::string kind;
+};
+
+/** KASan report: heap overflow / use-after-free / invalid free. */
+class KasanViolation : public HardeningViolation
+{
+  public:
+    explicit KasanViolation(const std::string &what)
+        : HardeningViolation("kasan", what)
+    {
+    }
+};
+
+/** UBSan report: overflow, bad shift, out-of-bounds index. */
+class UbsanViolation : public HardeningViolation
+{
+  public:
+    explicit UbsanViolation(const std::string &what)
+        : HardeningViolation("ubsan", what)
+    {
+    }
+};
+
+/** CFI report: illegal entry point or indirect-call target. */
+class CfiViolation : public HardeningViolation
+{
+  public:
+    explicit CfiViolation(const std::string &what)
+        : HardeningViolation("cfi", what)
+    {
+    }
+};
+
+/** Stack-protector report: smashed canary. */
+class CanaryViolation : public HardeningViolation
+{
+  public:
+    explicit CanaryViolation(const std::string &what)
+        : HardeningViolation("stack-protector", what)
+    {
+    }
+};
+
+/**
+ * KASan-style allocator wrapper: pads every allocation with redzones,
+ * tracks liveness, quarantines frees to catch use-after-free, and
+ * validates checked accesses.
+ */
+class KasanHeap : public Allocator
+{
+  public:
+    static constexpr std::size_t redzone = 16;
+    static constexpr std::size_t quarantineLimit = 256 * 1024;
+
+    explicit KasanHeap(Allocator &inner);
+    ~KasanHeap() override;
+
+    void *alloc(std::size_t size) override;
+    void free(void *p) override;
+    std::size_t blockSize(const void *p) const override;
+    const char *name() const override { return "kasan"; }
+
+    /**
+     * Validate an access of n bytes at p. Throws KasanViolation on a
+     * redzone hit or freed block; unknown addresses pass (they belong
+     * to other memory, e.g. stacks, which KASan shadows separately).
+     */
+    void check(const void *p, std::size_t n) const;
+
+    /** Number of violations that would have been reported. */
+    std::uint64_t reports() const { return reportCount; }
+
+  private:
+    struct Slot
+    {
+        std::size_t userSize;
+        bool live;
+    };
+
+    void flushQuarantine();
+
+    Allocator &inner;
+    /** user pointer -> slot info (live and quarantined). */
+    std::map<std::uintptr_t, Slot> slots;
+    std::deque<void *> quarantine;
+    std::size_t quarantineBytes = 0;
+    mutable std::uint64_t reportCount = 0;
+};
+
+/** UBSan-style checked arithmetic. All throw UbsanViolation. */
+namespace ubsan {
+
+template <typename T>
+T
+addChecked(T a, T b)
+{
+    T out;
+    if (__builtin_add_overflow(a, b, &out))
+        throw UbsanViolation("signed integer overflow in addition");
+    return out;
+}
+
+template <typename T>
+T
+subChecked(T a, T b)
+{
+    T out;
+    if (__builtin_sub_overflow(a, b, &out))
+        throw UbsanViolation("signed integer overflow in subtraction");
+    return out;
+}
+
+template <typename T>
+T
+mulChecked(T a, T b)
+{
+    T out;
+    if (__builtin_mul_overflow(a, b, &out))
+        throw UbsanViolation("signed integer overflow in multiplication");
+    return out;
+}
+
+template <typename T>
+T
+shlChecked(T v, unsigned amount)
+{
+    if (amount >= sizeof(T) * 8)
+        throw UbsanViolation("shift amount out of range");
+    return static_cast<T>(v << amount);
+}
+
+inline std::size_t
+indexChecked(std::size_t idx, std::size_t bound)
+{
+    if (idx >= bound)
+        throw UbsanViolation("index out of bounds");
+    return idx;
+}
+
+} // namespace ubsan
+
+/**
+ * CFI indirect-call registry: the toolchain's answer to function
+ * pointers crossing compartments (paper 3.1 requires annotating the
+ * possible targets; the gate then validates).
+ */
+class CfiRegistry
+{
+  public:
+    /** Register a legal indirect-call target. */
+    void registerTarget(const void *fn, const std::string &name);
+
+    /** Validate a target before an indirect call. */
+    void checkCall(const void *fn) const;
+
+    bool known(const void *fn) const { return targets.count(fn) != 0; }
+
+  private:
+    std::map<const void *, std::string> targets;
+};
+
+/**
+ * The per-compartment hardening context handed to library code: a
+ * single object carrying which mechanisms are live plus their runtime
+ * state. Checks degrade to no-ops when the mechanism is off, so library
+ * code is written once (the "porting" state) and the build-time config
+ * decides what actually executes — mirroring the paper's build-time
+ * instantiation.
+ */
+struct HardeningContext
+{
+    bool kasan = false;
+    bool ubsan = false;
+    bool cfi = false;
+    bool stackProtector = false;
+
+    KasanHeap *kasanHeap = nullptr;
+    CfiRegistry *cfiRegistry = nullptr;
+
+    /** Checked memory access (no-op unless kasan). */
+    void
+    checkAccess(const void *p, std::size_t n) const
+    {
+        if (kasan && kasanHeap)
+            kasanHeap->check(p, n);
+    }
+
+    /** Checked addition (plain add unless ubsan). */
+    template <typename T>
+    T
+    add(T a, T b) const
+    {
+        return ubsan ? ubsan::addChecked(a, b) : static_cast<T>(a + b);
+    }
+
+    template <typename T>
+    T
+    mul(T a, T b) const
+    {
+        return ubsan ? ubsan::mulChecked(a, b) : static_cast<T>(a * b);
+    }
+
+    std::size_t
+    index(std::size_t idx, std::size_t bound) const
+    {
+        return ubsan ? ubsan::indexChecked(idx, bound) : idx;
+    }
+
+    /** Checked indirect call target (no-op unless cfi). */
+    void
+    checkIndirect(const void *fn) const
+    {
+        if (cfi && cfiRegistry)
+            cfiRegistry->checkCall(fn);
+    }
+};
+
+/** Extra work (percent) a hardening mechanism costs, from the model. */
+unsigned hardeningCostPct(Hardening h, const struct TimingModel &tm);
+
+/** Combined multiplier for a hardening set. */
+double hardeningMultiplier(const std::vector<Hardening> &set,
+                           const struct TimingModel &tm);
+
+} // namespace flexos
+
+#endif // FLEXOS_CORE_HARDENING_HH

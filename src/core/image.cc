@@ -1,0 +1,347 @@
+#include "core/image.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace flexos {
+
+Image::Image(Machine &m, Scheduler &s, SafetyConfig config,
+             const LibraryRegistry &registry)
+    : mach(m), sched(s), cfg(std::move(config)), reg(registry)
+{
+    // Build compartment objects (memory comes later, at boot()).
+    for (std::size_t i = 0; i < cfg.compartments.size(); ++i) {
+        auto c = std::make_unique<Compartment>();
+        c->id = static_cast<int>(i);
+        c->spec = cfg.compartments[i];
+        c->key = static_cast<ProtKey>(i);
+        c->hardenMultiplier =
+            hardeningMultiplier(c->spec.hardening, mach.timing);
+        c->domain = Pkru::allowing({c->key, sharedProtKey});
+        comps.push_back(std::move(c));
+    }
+
+    for (const auto &[lib, compName] : cfg.libraries) {
+        const CompartmentSpec &spec = cfg.compartment(compName);
+        for (std::size_t i = 0; i < cfg.compartments.size(); ++i) {
+            if (cfg.compartments[i].name == spec.name) {
+                libToComp[lib] = static_cast<int>(i);
+                break;
+            }
+        }
+    }
+
+    // Resolve per-library hardening multipliers: compartment set plus
+    // the component's own set (Figure 6 hardens per component).
+    for (const auto &[lib, compIdx] : libToComp) {
+        std::vector<Hardening> set =
+            cfg.compartments[static_cast<std::size_t>(compIdx)].hardening;
+        auto it = cfg.libHardening.find(lib);
+        if (it != cfg.libHardening.end())
+            set.insert(set.end(), it->second.begin(), it->second.end());
+        libMults[lib] = hardeningMultiplier(set, mach.timing);
+    }
+
+    backend = makeBackend(cfg.compartments[0].mechanism, cfg.mpkGate);
+}
+
+Image::~Image()
+{
+    shutdown();
+}
+
+void
+Image::boot()
+{
+    panic_if(booted, "image booted twice");
+
+    // ukboot: carve out per-compartment memory and the shared heap.
+    for (auto &c : comps) {
+        c->heapArena.resize(cfg.heapBytes);
+        c->dataSection.resize(64 * 1024);
+        c->rawHeap = std::make_unique<TlsfAllocator>(c->heapArena.data(),
+                                                     c->heapArena.size());
+        bool wantKasan = c->spec.hardenedWith(Hardening::Kasan) ||
+                         c->spec.hardenedWith(Hardening::Asan);
+        if (wantKasan) {
+            c->kasanHeap = std::make_unique<KasanHeap>(*c->rawHeap);
+            c->heap = c->kasanHeap.get();
+        } else {
+            c->heap = c->rawHeap.get();
+        }
+
+        // Functional hardening is active when the compartment, or any
+        // component placed in it, enables the mechanism.
+        auto anyLibWants = [&](Hardening h) {
+            for (const auto &[lib, compIdx] : libToComp) {
+                if (compIdx != c->id)
+                    continue;
+                auto it = cfg.libHardening.find(lib);
+                if (it == cfg.libHardening.end())
+                    continue;
+                for (Hardening x : it->second)
+                    if (x == h)
+                        return true;
+            }
+            return false;
+        };
+        if (!wantKasan && (anyLibWants(Hardening::Kasan) ||
+                           anyLibWants(Hardening::Asan))) {
+            wantKasan = true;
+            c->kasanHeap = std::make_unique<KasanHeap>(*c->rawHeap);
+            c->heap = c->kasanHeap.get();
+        }
+
+        c->hardening.kasan = wantKasan;
+        c->hardening.ubsan = c->spec.hardenedWith(Hardening::Ubsan) ||
+                             anyLibWants(Hardening::Ubsan);
+        c->hardening.cfi = c->spec.hardenedWith(Hardening::Cfi) ||
+                           anyLibWants(Hardening::Cfi);
+        c->hardening.stackProtector =
+            c->spec.hardenedWith(Hardening::StackProtector) ||
+            anyLibWants(Hardening::StackProtector);
+        c->hardening.kasanHeap = c->kasanHeap.get();
+        c->hardening.cfiRegistry = &c->cfiRegistry;
+    }
+
+    sharedArena.resize(cfg.sharedHeapBytes);
+    sharedHeapAlloc = std::make_unique<TlsfAllocator>(sharedArena.data(),
+                                                      sharedArena.size());
+
+    registerRegions();
+    backend->boot(*this);
+
+    // Boot-time cost: section protection, key setup, backend init.
+    mach.consume(50'000 + 10'000 * comps.size());
+    mach.bump("image.boots");
+    booted = true;
+}
+
+void
+Image::shutdown()
+{
+    if (!booted)
+        return;
+    backend->shutdown(*this);
+    unregisterRegions();
+    booted = false;
+}
+
+void
+Image::registerRegions()
+{
+    auto addRegion = [&](const void *base, std::size_t size, ProtKey key,
+                         std::string name) {
+        mach.memMap.add(base, size, key, std::move(name));
+        registeredRegions.push_back(base);
+    };
+
+    for (auto &c : comps) {
+        addRegion(c->heapArena.data(), c->heapArena.size(), c->key,
+                  c->spec.name + ".heap");
+        addRegion(c->dataSection.data(), c->dataSection.size(), c->key,
+                  c->spec.name + ".data");
+    }
+    addRegion(sharedArena.data(), sharedArena.size(), sharedProtKey,
+              "shared.heap");
+}
+
+void
+Image::unregisterRegions()
+{
+    // Sim stacks were registered lazily; drop those regions too.
+    for (auto &[key, stack] : simStacks) {
+        mach.memMap.remove(stack.mem.get());
+        if (cfg.stackSharing == StackSharing::Dss)
+            mach.memMap.remove(stack.mem.get() + SimStack::stackBytes);
+    }
+    simStacks.clear();
+    for (const void *base : registeredRegions)
+        mach.memMap.remove(base);
+    registeredRegions.clear();
+}
+
+Compartment &
+Image::compartmentAt(std::size_t idx)
+{
+    panic_if(idx >= comps.size(), "compartment index out of range");
+    return *comps[idx];
+}
+
+int
+Image::compartmentIndexOf(const std::string &lib) const
+{
+    auto it = libToComp.find(lib);
+    fatal_if(it == libToComp.end(), "library '", lib,
+             "' not assigned to any compartment");
+    return it->second;
+}
+
+Compartment &
+Image::compartmentOf(const std::string &lib)
+{
+    return *comps[static_cast<std::size_t>(compartmentIndexOf(lib))];
+}
+
+bool
+Image::sameCompartment(const std::string &a, const std::string &b) const
+{
+    return compartmentIndexOf(a) == compartmentIndexOf(b);
+}
+
+int
+Image::resolveCallee(const std::string &lib, int from) const
+{
+    // TCB libraries are replicated into every compartment when the
+    // backend duplicates the kernel (EPT), and always for the memory
+    // manager: each compartment owns a private allocator instance.
+    auto it = libToComp.find(lib);
+    if (it == libToComp.end()) {
+        const LibraryInfo &info = reg.get(lib);
+        fatal_if(!info.tcb, "library '", lib, "' not in the image");
+        return from; // unassigned TCB service: local to every caller
+    }
+    if (reg.get(lib).tcb && backend->replicatesTcb())
+        return from;
+    return it->second;
+}
+
+int
+Image::currentCompartment() const
+{
+    Thread *t = sched.current();
+    if (!t)
+        return static_cast<int>(cfg.defaultCompartment());
+    return t->currentCompartment;
+}
+
+const HardeningContext &
+Image::currentHardening() const
+{
+    return comps[static_cast<std::size_t>(currentCompartment())]
+        ->hardening;
+}
+
+void
+Image::checkEntry(const std::string &lib, const char *fnName,
+                  int to) const
+{
+    bool enforce = backend->checksEntryPoints() ||
+                   comps[static_cast<std::size_t>(to)]->spec.hardenedWith(
+                       Hardening::Cfi);
+    if (!enforce)
+        return;
+    if (!reg.isEntryPoint(lib, fnName))
+        throw CfiViolation(std::string("gate to non-entry-point ") + lib +
+                           "." + fnName);
+}
+
+double
+Image::libMultiplier(const std::string &lib) const
+{
+    auto it = libMults.find(lib);
+    if (it != libMults.end())
+        return it->second;
+    // Unassigned TCB services execute in the caller's compartment and
+    // inherit no extra instrumentation.
+    return 1.0;
+}
+
+Thread *
+Image::spawnIn(const std::string &lib, std::string name,
+               std::function<void()> entry)
+{
+    int comp = compartmentIndexOf(lib);
+    Thread *t = sched.spawn(std::move(name), std::move(entry));
+    t->currentCompartment = comp;
+    t->pkru = comps[static_cast<std::size_t>(comp)]->domain;
+    t->workMult = libMultiplier(lib);
+    return t;
+}
+
+void *
+Image::sharedAlloc(std::size_t n)
+{
+    return sharedHeapAlloc->alloc(n);
+}
+
+void
+Image::sharedFree(void *p)
+{
+    sharedHeapAlloc->free(p);
+}
+
+Allocator &
+Image::heapOf(const std::string &lib)
+{
+    return *compartmentOf(lib).heap;
+}
+
+SimStack &
+Image::simStackFor(int threadId, int comp)
+{
+    auto key = std::make_pair(threadId, comp);
+    auto it = simStacks.find(key);
+    if (it != simStacks.end())
+        return it->second;
+
+    SimStack stack;
+    stack.mem = std::make_unique<char[]>(2 * SimStack::stackBytes);
+    char *base = stack.mem.get();
+    ProtKey compKey = comps[static_cast<std::size_t>(comp)]->key;
+
+    std::string tag = "stack-t" + std::to_string(threadId) + "-c" +
+                      std::to_string(comp);
+    switch (cfg.stackSharing) {
+      case StackSharing::Dss:
+        // Lower half private, upper half (the DSS) in the shared domain.
+        mach.memMap.add(base, SimStack::stackBytes, compKey, tag);
+        mach.memMap.add(base + SimStack::stackBytes, SimStack::stackBytes,
+                        sharedProtKey, tag + ".dss");
+        break;
+      case StackSharing::SharedStack:
+        // The whole stack is shared: cheap but weakest isolation.
+        mach.memMap.add(base, 2 * SimStack::stackBytes, sharedProtKey,
+                        tag + ".shared");
+        break;
+      case StackSharing::Heap:
+        // Stack stays fully private; shared variables go to the heap.
+        mach.memMap.add(base, 2 * SimStack::stackBytes, compKey, tag);
+        break;
+    }
+    auto [pos, inserted] = simStacks.emplace(key, std::move(stack));
+    return pos->second;
+}
+
+std::string
+Image::linkerScript() const
+{
+    std::ostringstream oss;
+    oss << "/* FlexOS generated linker script (backend: "
+        << backend->name() << ") */\n";
+    oss << "SECTIONS\n{\n";
+    for (const auto &c : comps) {
+        const std::string &n = c->spec.name;
+        oss << "    /* compartment " << c->id << " '" << n << "' key "
+            << int(c->key) << " */\n";
+        oss << "    .text." << n << "    : { *(.text." << n << ") }\n";
+        oss << "    .rodata." << n << "  : { *(.rodata." << n << ") }\n";
+        oss << "    .data." << n << "    : { *(.data." << n
+            << ") } /* " << c->dataSection.size() << " bytes, pkey "
+            << int(c->key) << " */\n";
+        oss << "    .bss." << n << "     : { *(.bss." << n << ") }\n";
+        oss << "    .heap." << n << "    : { . += " << cfg.heapBytes
+            << "; } /* pkey " << int(c->key) << " */\n";
+    }
+    oss << "    /* shared communication domain, pkey "
+        << int(sharedProtKey) << " */\n";
+    oss << "    .heap.shared   : { . += " << cfg.sharedHeapBytes
+        << "; }\n";
+    oss << "    .dss           : { /* per-thread doubled stacks, "
+        << SimStack::stackBytes << " B halves */ }\n";
+    oss << "}\n";
+    return oss.str();
+}
+
+} // namespace flexos

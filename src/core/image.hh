@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The FlexOS image: the runtime instantiation of one safety
+ * configuration over the simulated machine.
+ *
+ * Built by the Toolchain from a SafetyConfig + LibraryRegistry, the
+ * image owns the compartments (keys, heaps, static sections), the
+ * shared heap, the DSS stack pool, the backend, and the gate dispatch
+ * that library code calls through FLEXOS gates.
+ */
+
+#ifndef FLEXOS_CORE_IMAGE_HH
+#define FLEXOS_CORE_IMAGE_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/backend.hh"
+#include "core/config.hh"
+#include "core/hardening.hh"
+#include "core/library.hh"
+#include "uksched/scheduler.hh"
+#include "ukalloc/tlsf.hh"
+
+namespace flexos {
+
+/** Shared-domain protection key (the last MPK key, paper 4.1). */
+inline constexpr ProtKey sharedProtKey = 15;
+
+/** RAII guard setting the machine work multiplier for a scope. */
+class WorkMultGuard
+{
+  public:
+    WorkMultGuard(Machine &m, double mult)
+        : mach(m), saved(m.workMultiplier)
+    {
+        mach.workMultiplier = mult;
+    }
+
+    ~WorkMultGuard() { mach.workMultiplier = saved; }
+
+    WorkMultGuard(const WorkMultGuard &) = delete;
+    WorkMultGuard &operator=(const WorkMultGuard &) = delete;
+
+  private:
+    Machine &mach;
+    double saved;
+};
+
+/**
+ * A compartment instance: protection key, private heap + allocator,
+ * static data section, hardening state.
+ */
+class Compartment
+{
+  public:
+    int id = 0;
+    ProtKey key = 0;
+    CompartmentSpec spec;
+
+    /** Combined hardening work multiplier (>= 1.0). */
+    double hardenMultiplier = 1.0;
+
+    /** Hardening runtime handed to library code in this compartment. */
+    HardeningContext hardening;
+
+    /** The PKRU value threads use while executing here. */
+    Pkru domain;
+
+    /** Private heap allocator ("one allocator per compartment", 4.5);
+     *  points at the KASan wrapper when kasan/asan is enabled. */
+    Allocator *heap = nullptr;
+
+    /** Arena backing the private heap (registered in the region map). */
+    std::vector<char> heapArena;
+    /** Per-compartment static data section (.data/.bss analogue). */
+    std::vector<char> dataSection;
+
+    std::unique_ptr<TlsfAllocator> rawHeap;
+    std::unique_ptr<KasanHeap> kasanHeap;
+    CfiRegistry cfiRegistry;
+};
+
+/**
+ * Per-(thread, compartment) simulated call stack with its DSS upper
+ * half (paper 4.1, Figure 4): the stack is doubled; [0, stackBytes) is
+ * the private stack, [stackBytes, 2*stackBytes) is the shadow area in
+ * the shared domain; shadow(x) = x + stackBytes.
+ */
+struct SimStack
+{
+    static constexpr std::size_t stackBytes = 8 * 4096; // 8 pages (6.5)
+
+    std::unique_ptr<char[]> mem; ///< 2 * stackBytes
+    std::size_t top = 0;         ///< bump offset within the private half
+};
+
+/**
+ * The runtime image.
+ */
+class Image
+{
+  public:
+    Image(Machine &m, Scheduler &s, SafetyConfig cfg,
+          const LibraryRegistry &reg);
+    ~Image();
+
+    Image(const Image &) = delete;
+    Image &operator=(const Image &) = delete;
+
+    /** Bring the image up: regions, domains, backend, hooks. */
+    void boot();
+
+    /** Orderly teardown (also run by the destructor). */
+    void shutdown();
+
+    /** @name Topology. @{ */
+    std::size_t compartmentCount() const { return comps.size(); }
+    Compartment &compartmentAt(std::size_t idx);
+    /** Compartment index a library lives in (caller-relative for
+     *  replicated TCB libraries under EPT). */
+    int compartmentIndexOf(const std::string &lib) const;
+    Compartment &compartmentOf(const std::string &lib);
+    bool sameCompartment(const std::string &a, const std::string &b) const;
+    /** @} */
+
+    /**
+     * The call gate. Executes fn as entry point fnName of calleeLib,
+     * performing a domain transition when the caller's current
+     * compartment differs from the callee's. Same-compartment calls
+     * cost exactly a function call — "you only pay for what you get".
+     */
+    template <typename F>
+    auto
+    gate(const std::string &calleeLib, const char *fnName, F &&fn)
+        -> std::invoke_result_t<F>
+    {
+        using R = std::invoke_result_t<F>;
+        int from = currentCompartment();
+        int to = resolveCallee(calleeLib, from);
+        double mult = libMultiplier(calleeLib);
+        if (from == to) {
+            // Same compartment: the gate degenerates to a plain call
+            // (paper Figure 3, step 3': zero overhead). Only the
+            // callee's own hardening instrumentation applies.
+            mach.consume(mach.timing.functionCall);
+            mach.bump("gate.direct");
+            WorkMultGuard guard(mach, mult);
+            return fn();
+        }
+        checkEntry(calleeLib, fnName, to);
+        if constexpr (std::is_void_v<R>) {
+            backend->crossCall(*this, from, to, calleeLib, fnName, mult,
+                               [&] { fn(); });
+        } else {
+            std::optional<R> result;
+            backend->crossCall(*this, from, to, calleeLib, fnName, mult,
+                               [&] { result.emplace(fn()); });
+            return std::move(*result);
+        }
+    }
+
+    /**
+     * Effective hardening work multiplier of a library: the union of
+     * its compartment's hardening and its own per-component set.
+     */
+    double libMultiplier(const std::string &lib) const;
+
+    /** Spawn a thread whose execution starts in lib's compartment. */
+    Thread *spawnIn(const std::string &lib, std::string name,
+                    std::function<void()> entry);
+
+    /** @name Data sharing (paper 3.1/4.1). @{ */
+    /** Allocate from the shared communication heap. */
+    void *sharedAlloc(std::size_t n);
+    void sharedFree(void *p);
+    Allocator &sharedHeap() { return *sharedHeapAlloc; }
+    /** Private heap of a library's compartment. */
+    Allocator &heapOf(const std::string &lib);
+    /** @} */
+
+    /** @name Checked accesses (MMU + KASan instrumentation point). @{ */
+    template <typename T>
+    T
+    load(const T *p)
+    {
+        mach.checkAccess(p, sizeof(T), AccessType::Read);
+        currentHardening().checkAccess(p, sizeof(T));
+        return *p;
+    }
+
+    template <typename T>
+    void
+    store(T *p, const T &v)
+    {
+        mach.checkAccess(p, sizeof(T), AccessType::Write);
+        currentHardening().checkAccess(p, sizeof(T));
+        *p = v;
+    }
+    /** @} */
+
+    /** Compartment the calling thread currently executes in. */
+    int currentCompartment() const;
+
+    /** Hardening context of the current compartment. */
+    const HardeningContext &currentHardening() const;
+
+    /** The per-(thread, compartment) simulated stack, lazily built. */
+    SimStack &simStackFor(int threadId, int comp);
+
+    /** Generated linker-script analogue describing the memory layout. */
+    std::string linkerScript() const;
+
+    /** Gate-crossing counters per (from, to) pair. */
+    const std::map<std::pair<int, int>, std::uint64_t> &
+    gateCrossings() const
+    {
+        return crossings;
+    }
+
+    void
+    noteCrossing(int from, int to)
+    {
+        ++crossings[{from, to}];
+    }
+
+    Machine &machine() { return mach; }
+    Scheduler &scheduler() { return sched; }
+    const SafetyConfig &config() const { return cfg; }
+    const LibraryRegistry &registry() const { return reg; }
+    IsolationBackend &isolationBackend() { return *backend; }
+
+  private:
+    friend class Toolchain;
+
+    int resolveCallee(const std::string &lib, int from) const;
+    void checkEntry(const std::string &lib, const char *fnName,
+                    int to) const;
+    void registerRegions();
+    void unregisterRegions();
+
+    Machine &mach;
+    Scheduler &sched;
+    SafetyConfig cfg;
+    const LibraryRegistry &reg;
+
+    std::vector<std::unique_ptr<Compartment>> comps;
+    std::map<std::string, int> libToComp;
+    std::unique_ptr<IsolationBackend> backend;
+
+    std::vector<char> sharedArena;
+    std::unique_ptr<TlsfAllocator> sharedHeapAlloc;
+
+    std::map<std::string, double> libMults;
+    std::map<std::pair<int, int>, SimStack> simStacks;
+    std::map<std::pair<int, int>, std::uint64_t> crossings;
+    std::vector<const void *> registeredRegions;
+    bool booted = false;
+};
+
+} // namespace flexos
+
+#endif // FLEXOS_CORE_IMAGE_HH

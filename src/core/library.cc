@@ -1,0 +1,154 @@
+#include "core/library.hh"
+
+#include "base/logging.hh"
+
+namespace flexos {
+
+void
+LibraryRegistry::add(LibraryInfo info)
+{
+    fatal_if(libs.count(info.name), "library '", info.name,
+             "' registered twice");
+    order.push_back(info.name);
+    libs.emplace(info.name, std::move(info));
+}
+
+const LibraryInfo &
+LibraryRegistry::get(const std::string &name) const
+{
+    auto it = libs.find(name);
+    fatal_if(it == libs.end(), "unknown library '", name, "'");
+    return it->second;
+}
+
+bool
+LibraryRegistry::contains(const std::string &name) const
+{
+    return libs.count(name) != 0;
+}
+
+bool
+LibraryRegistry::isEntryPoint(const std::string &lib,
+                              const std::string &fn) const
+{
+    return get(lib).entryPoints.count(fn) != 0;
+}
+
+LibraryRegistry
+LibraryRegistry::standard()
+{
+    LibraryRegistry r;
+
+    // --- Trusted computing base (paper 3.3) -----------------------------
+    r.add(LibraryInfo{
+        .name = "ukboot",
+        .tcb = true,
+        .entryPoints = {"boot"},
+        .callees = {"ukalloc", "uksched"},
+    });
+    r.add(LibraryInfo{
+        .name = "ukalloc", // memory manager
+        .tcb = true,
+        .entryPoints = {"malloc", "free", "calloc", "realloc"},
+        .callees = {},
+    });
+    // The low-level context-switch primitive is TCB (paper 3.3), but the
+    // uksched micro-library itself (run queues, sleeping, sync) is an
+    // isolatable component — Figure 6 places it in its own compartment.
+    r.add(LibraryInfo{
+        .name = "uksched",
+        .tcb = false,
+        .entryPoints = {"yield", "sleep", "thread_create", "thread_join",
+                        "mutex_lock", "mutex_unlock", "sem_post",
+                        "sem_wait"},
+        .callees = {"ukalloc", "uktime"},
+        .sharedVars = 5,
+        .patchAdded = 48,
+        .patchRemoved = 8,
+    });
+
+    // --- Kernel micro-libraries -----------------------------------------
+    r.add(LibraryInfo{
+        .name = "uktime",
+        .entryPoints = {"clock_gettime", "nanosleep", "timer_arm",
+                        "timer_cancel"},
+        .callees = {},
+        .sharedVars = 0,
+        .patchAdded = 10,
+        .patchRemoved = 9,
+    });
+    r.add(LibraryInfo{
+        .name = "lwip",
+        .entryPoints = {"socket", "bind", "listen", "accept", "connect",
+                        "send", "recv", "close", "poll"},
+        .callees = {"ukalloc", "uksched", "uktime"},
+        .sharedVars = 23,
+        .patchAdded = 542,
+        .patchRemoved = 275,
+    });
+    r.add(LibraryInfo{
+        .name = "vfscore", // vfscore + ramfs, ported as one unit (4.4)
+        .entryPoints = {"open", "close", "read", "write", "pread",
+                        "pwrite", "lseek", "fsync", "ftruncate", "unlink",
+                        "mkdir", "rmdir", "stat", "readdir"},
+        .callees = {"ukalloc", "uksched"},
+        .sharedVars = 12,
+        .patchAdded = 148,
+        .patchRemoved = 37,
+    });
+    r.add(LibraryInfo{
+        .name = "newlib", // libc facade
+        .entryPoints = {"fprintf", "snprintf", "malloc", "free", "memcpy",
+                        "strcmp", "socket_call", "fs_call", "time_call"},
+        .callees = {"lwip", "vfscore", "uktime", "ukalloc", "uksched"},
+        .sharedVars = 0,
+        .patchAdded = 0,
+        .patchRemoved = 0,
+    });
+
+    // --- Ported applications (Table 1) ----------------------------------
+    r.add(LibraryInfo{
+        .name = "libredis",
+        .entryPoints = {"redis_main", "redis_handle_conn"},
+        .callees = {"newlib", "lwip", "uksched"},
+        .sharedVars = 16,
+        .patchAdded = 279,
+        .patchRemoved = 90,
+    });
+    r.add(LibraryInfo{
+        .name = "libnginx",
+        .entryPoints = {"nginx_main", "nginx_handle_conn"},
+        .callees = {"newlib", "lwip", "vfscore", "uksched"},
+        .sharedVars = 36,
+        .patchAdded = 470,
+        .patchRemoved = 85,
+    });
+    r.add(LibraryInfo{
+        .name = "libsqlite",
+        .entryPoints = {"sqlite_exec", "sqlite_open", "sqlite_close"},
+        .callees = {"newlib", "vfscore", "uktime", "uksched"},
+        .sharedVars = 24,
+        .patchAdded = 199,
+        .patchRemoved = 145,
+    });
+    r.add(LibraryInfo{
+        .name = "libiperf",
+        .entryPoints = {"iperf_server", "iperf_client"},
+        .callees = {"newlib", "lwip", "uksched"},
+        .sharedVars = 4,
+        .patchAdded = 15,
+        .patchRemoved = 14,
+    });
+    r.add(LibraryInfo{
+        .name = "libopenjpg", // example untrusted parser library (3.0)
+        .entryPoints = {"decode_image"},
+        .callees = {"newlib"},
+        .sharedVars = 2,
+        .patchAdded = 31,
+        .patchRemoved = 9,
+    });
+
+    return r;
+}
+
+} // namespace flexos

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The micro-library registry: FlexOS' view of the system's components.
+ *
+ * Each Unikraft-style micro-library registers its name, legal entry
+ * points (the gate targets the toolchain knows from the control-flow
+ * graph, paper 3.1), its static call-graph edges, and its porting
+ * metadata (patch size and shared-variable count — Table 1).
+ */
+
+#ifndef FLEXOS_CORE_LIBRARY_HH
+#define FLEXOS_CORE_LIBRARY_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace flexos {
+
+/**
+ * Static description of one micro-library.
+ */
+struct LibraryInfo
+{
+    std::string name;
+
+    /**
+     * Part of the trusted computing base (paper 3.3): boot code, memory
+     * manager, scheduler, interrupt context-switch primitives, backend.
+     * TCB libraries live in the trusted compartment (and are replicated
+     * into every VM under the EPT backend).
+     */
+    bool tcb = false;
+
+    /** Legal cross-compartment entry points (gate/CFI targets). */
+    std::set<std::string> entryPoints;
+
+    /** Libraries this one calls (static call-graph edges). */
+    std::set<std::string> callees;
+
+    /** @name Porting metadata (Table 1). @{ */
+    int sharedVars = 0;
+    int patchAdded = 0;
+    int patchRemoved = 0;
+    /** @} */
+};
+
+/**
+ * Registry of every library available to the toolchain.
+ */
+class LibraryRegistry
+{
+  public:
+    /** Register a library. Duplicate names are a fatal user error. */
+    void add(LibraryInfo info);
+
+    /** Look up a library; fatal if unknown. */
+    const LibraryInfo &get(const std::string &name) const;
+
+    bool contains(const std::string &name) const;
+
+    /** All names, registration order. */
+    const std::vector<std::string> &names() const { return order; }
+
+    /** Whether callee is a legal entry point of lib. */
+    bool isEntryPoint(const std::string &lib,
+                      const std::string &fn) const;
+
+    /**
+     * The standard FlexOS registry: the kernel micro-libraries this
+     * repository implements plus the ported applications, with entry
+     * points, call edges and the porting metadata from the paper's
+     * Table 1.
+     */
+    static LibraryRegistry standard();
+
+  private:
+    std::map<std::string, LibraryInfo> libs;
+    std::vector<std::string> order;
+};
+
+} // namespace flexos
+
+#endif // FLEXOS_CORE_LIBRARY_HH

@@ -1,0 +1,151 @@
+#include "core/toolchain.hh"
+
+#include <set>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace flexos {
+
+void
+Toolchain::validate(const SafetyConfig &cfg) const
+{
+    fatal_if(cfg.compartments.empty(), "no compartments declared");
+
+    // Exactly one default compartment.
+    int defaults = 0;
+    std::set<std::string> compNames;
+    for (const CompartmentSpec &c : cfg.compartments) {
+        defaults += c.isDefault ? 1 : 0;
+        fatal_if(!compNames.insert(c.name).second,
+                 "duplicate compartment '", c.name, "'");
+    }
+    fatal_if(defaults == 0, "no default compartment declared");
+    fatal_if(defaults > 1, "multiple default compartments declared");
+
+    // The prototype instantiates one mechanism per image (paper 4).
+    Mechanism mech = cfg.compartments[0].mechanism;
+    for (const CompartmentSpec &c : cfg.compartments)
+        fatal_if(c.mechanism != mech,
+                 "mixed isolation mechanisms in one image: '",
+                 mechanismName(mech), "' vs '",
+                 mechanismName(c.mechanism), "' (unsupported by the "
+                 "prototype)");
+
+    // MPK key budget: 15 compartments + 1 shared key (paper 4.1).
+    if (mech == Mechanism::IntelMpk || mech == Mechanism::CubicleMpk) {
+        fatal_if(cfg.compartments.size() > numProtKeys - 1,
+                 "MPK supports at most ", numProtKeys - 1,
+                 " compartments");
+    }
+
+    // Library assignments.
+    std::set<std::string> assigned;
+    auto backendProbe = makeBackend(mech, cfg.mpkGate);
+    std::string defaultName;
+    for (const CompartmentSpec &c : cfg.compartments)
+        if (c.isDefault)
+            defaultName = c.name;
+
+    for (const auto &[lib, compName] : cfg.libraries) {
+        fatal_if(!reg.contains(lib), "unknown library '", lib, "'");
+        fatal_if(!compNames.count(compName), "library '", lib,
+                 "' assigned to unknown compartment '", compName, "'");
+        fatal_if(!assigned.insert(lib).second, "library '", lib,
+                 "' assigned twice");
+
+        // TCB components stay in the trusted compartment unless the
+        // backend replicates the kernel into every compartment (4.2).
+        if (reg.get(lib).tcb && !backendProbe->replicatesTcb()) {
+            fatal_if(compName != defaultName, "TCB library '", lib,
+                     "' must live in the default (trusted) compartment "
+                     "under ", mechanismName(mech));
+        }
+    }
+
+    for (const auto &[lib, hardenings] : cfg.libHardening) {
+        fatal_if(!assigned.count(lib), "hardening listed for '", lib,
+                 "' which is not part of the image");
+        (void)hardenings;
+    }
+}
+
+std::unique_ptr<Image>
+Toolchain::build(Machine &m, Scheduler &s, const SafetyConfig &cfg)
+{
+    validate(cfg);
+
+    auto img = std::make_unique<Image>(m, s, cfg, reg);
+
+    BuildReport rep;
+
+    // --- Gate instantiation (Figure 3, step 3/3') --------------------
+    // Walk the static call graph; every cross-compartment edge gets a
+    // backend gate, every intra-compartment edge stays a function call.
+    for (const auto &[lib, compName] : cfg.libraries) {
+        const LibraryInfo &info = reg.get(lib);
+        for (const std::string &callee : info.callees) {
+            if (!reg.contains(callee))
+                continue;
+            bool inImage = false;
+            for (const auto &[other, oc] : cfg.libraries)
+                if (other == callee)
+                    inImage = true;
+            const LibraryInfo &calleeInfo = reg.get(callee);
+            if (!inImage && !calleeInfo.tcb)
+                continue;
+
+            std::ostringstream line;
+            bool crosses =
+                inImage &&
+                img->compartmentIndexOf(lib) !=
+                    img->compartmentIndexOf(callee) &&
+                !(calleeInfo.tcb &&
+                  img->isolationBackend().replicatesTcb());
+            if (crosses) {
+                line << lib << ": flexos_gate(" << callee
+                     << ", ...) -> " << img->isolationBackend().name()
+                     << " gate ["
+                     << cfg.compartments[static_cast<std::size_t>(
+                                             img->compartmentIndexOf(
+                                                 lib))]
+                            .name
+                     << " -> "
+                     << cfg.compartments[static_cast<std::size_t>(
+                                             img->compartmentIndexOf(
+                                                 callee))]
+                            .name
+                     << "]";
+                ++rep.gatesInserted;
+            } else {
+                line << lib << ": flexos_gate(" << callee
+                     << ", ...) -> direct call (same compartment)";
+            }
+            rep.transformations.push_back(line.str());
+        }
+    }
+
+    // --- Shared-data annotation instantiation ------------------------
+    const char *strategyName =
+        cfg.stackSharing == StackSharing::Dss ? "dss"
+        : cfg.stackSharing == StackSharing::Heap ? "shared-heap"
+                                                 : "shared-stack";
+    for (const auto &[lib, compName] : cfg.libraries) {
+        const LibraryInfo &info = reg.get(lib);
+        if (info.sharedVars == 0)
+            continue;
+        std::ostringstream line;
+        line << lib << ": " << info.sharedVars
+             << " __shared annotations -> " << strategyName;
+        rep.transformations.push_back(line.str());
+        rep.annotationsReplaced += info.sharedVars;
+    }
+
+    img->boot();
+    rep.backendName = img->isolationBackend().name();
+    rep.linkerScript = img->linkerScript();
+    lastReport = std::move(rep);
+    return img;
+}
+
+} // namespace flexos

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The FlexOS toolchain (paper 3.1, Figure 3): validates a safety
+ * configuration, performs the build-time "source transformations" —
+ * gate instantiation, shared-data strategy instantiation, linker-script
+ * generation — and produces a runnable Image.
+ *
+ * In the paper the transformations are Coccinelle semantic patches over
+ * C sources; here they materialize as a gate plan + memory layout that
+ * the Image executes, plus a human-readable transformation report that
+ * plays the role of the inspectable rewritten sources.
+ */
+
+#ifndef FLEXOS_CORE_TOOLCHAIN_HH
+#define FLEXOS_CORE_TOOLCHAIN_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/image.hh"
+
+namespace flexos {
+
+/** What the build step did — the inspectable transformation record. */
+struct BuildReport
+{
+    std::string backendName;
+    std::string linkerScript;
+    /** One line per rewritten call site / annotation. */
+    std::vector<std::string> transformations;
+    int gatesInserted = 0;
+    int annotationsReplaced = 0;
+};
+
+/**
+ * The build toolchain.
+ */
+class Toolchain
+{
+  public:
+    explicit Toolchain(const LibraryRegistry &reg) : reg(reg) {}
+
+    /**
+     * Check a configuration for user errors. Throws FatalError on:
+     * mixed mechanisms, missing/duplicate default compartment, unknown
+     * libraries or compartments, double library assignment, MPK key
+     * exhaustion, or TCB libraries placed outside the trusted
+     * compartment under a non-replicating backend.
+     */
+    void validate(const SafetyConfig &cfg) const;
+
+    /**
+     * Validate, transform and boot an image for the configuration.
+     * The BuildReport for the last build is kept on the toolchain.
+     */
+    std::unique_ptr<Image> build(Machine &m, Scheduler &s,
+                                 const SafetyConfig &cfg);
+
+    const BuildReport &report() const { return lastReport; }
+
+  private:
+    const LibraryRegistry &reg;
+    BuildReport lastReport;
+};
+
+} // namespace flexos
+
+#endif // FLEXOS_CORE_TOOLCHAIN_HH

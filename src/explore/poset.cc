@@ -1,0 +1,237 @@
+#include "explore/poset.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace flexos {
+
+int
+ConfigPoint::compartments() const
+{
+    std::set<int> blocks(partition.begin(), partition.end());
+    return static_cast<int>(blocks.size());
+}
+
+bool
+refines(const std::vector<int> &a, const std::vector<int> &b)
+{
+    panic_if(a.size() != b.size(), "partition size mismatch");
+    // a refines b iff components sharing a block in a also share in b.
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::size_t j = i + 1; j < a.size(); ++j) {
+            if (a[i] == a[j] && b[i] != b[j])
+                return false;
+        }
+    }
+    return true;
+}
+
+namespace {
+
+/** Tri-state accumulate: does a dominate b on this dimension? */
+enum class Dim { ALeq, AGeq, Both, Neither };
+
+Dim
+combine(Dim acc, bool aLeB, bool bLeA)
+{
+    Dim cur = aLeB && bLeA ? Dim::Both
+              : aLeB       ? Dim::ALeq
+              : bLeA       ? Dim::AGeq
+                           : Dim::Neither;
+    if (acc == Dim::Both)
+        return cur;
+    if (cur == Dim::Both)
+        return acc;
+    if (acc == cur)
+        return acc;
+    return Dim::Neither;
+}
+
+} // namespace
+
+SafetyOrder
+compareSafety(const ConfigPoint &a, const ConfigPoint &b)
+{
+    panic_if(a.partition.size() != b.partition.size() ||
+                 a.hardening.size() != b.hardening.size(),
+             "comparing configurations over different components");
+
+    Dim acc = Dim::Both;
+
+    // 1) Compartmentalization granularity: refinement order.
+    acc = combine(acc, refines(b.partition, a.partition),
+                  refines(a.partition, b.partition));
+
+    // 2) Per-component hardening: subset order on each component.
+    bool aSub = true, bSub = true;
+    for (std::size_t i = 0; i < a.hardening.size(); ++i) {
+        if ((a.hardening[i] & b.hardening[i]) != a.hardening[i])
+            aSub = false;
+        if ((a.hardening[i] & b.hardening[i]) != b.hardening[i])
+            bSub = false;
+    }
+    acc = combine(acc, aSub, bSub);
+
+    // 3) Mechanism strength and 4) data-isolation strength.
+    acc = combine(acc, a.mechanismRank <= b.mechanismRank,
+                  b.mechanismRank <= a.mechanismRank);
+    acc = combine(acc, a.sharingRank <= b.sharingRank,
+                  b.sharingRank <= a.sharingRank);
+
+    switch (acc) {
+      case Dim::Both:
+        return SafetyOrder::Equal;
+      case Dim::ALeq:
+        return SafetyOrder::Less;
+      case Dim::AGeq:
+        return SafetyOrder::Greater;
+      case Dim::Neither:
+        return SafetyOrder::Incomparable;
+    }
+    return SafetyOrder::Incomparable;
+}
+
+std::size_t
+SafetyPoset::add(ConfigPoint p)
+{
+    nodes.push_back(std::move(p));
+    edgesBuilt = false;
+    return nodes.size() - 1;
+}
+
+bool
+SafetyPoset::strictlySafer(std::size_t a, std::size_t b) const
+{
+    return compareSafety(nodes[a], nodes[b]) == SafetyOrder::Greater;
+}
+
+void
+SafetyPoset::buildEdges()
+{
+    std::size_t n = nodes.size();
+    covers.assign(n, {});
+    coveredBy.assign(n, {});
+
+    for (std::size_t lo = 0; lo < n; ++lo) {
+        for (std::size_t hi = 0; hi < n; ++hi) {
+            if (lo == hi || !strictlySafer(hi, lo))
+                continue;
+            // Cover edge iff no intermediate m with lo < m < hi
+            // (transitive reduction -> Hasse diagram).
+            bool direct = true;
+            for (std::size_t m = 0; m < n && direct; ++m) {
+                if (m == lo || m == hi)
+                    continue;
+                if (strictlySafer(m, lo) && strictlySafer(hi, m))
+                    direct = false;
+            }
+            if (direct) {
+                covers[lo].push_back(hi);
+                coveredBy[hi].push_back(lo);
+            }
+        }
+    }
+    edgesBuilt = true;
+}
+
+const std::vector<std::size_t> &
+SafetyPoset::coversOf(std::size_t i) const
+{
+    panic_if(!edgesBuilt, "poset edges not built");
+    return covers[i];
+}
+
+std::vector<std::size_t>
+SafetyPoset::safestWithin(double minPerf) const
+{
+    panic_if(!edgesBuilt, "poset edges not built");
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].perf < minPerf)
+            continue;
+        // Maximal in the qualifying sub-poset: no strictly safer node
+        // also meets the budget.
+        bool dominated = false;
+        for (std::size_t j = 0; j < nodes.size() && !dominated; ++j) {
+            if (j != i && nodes[j].perf >= minPerf &&
+                strictlySafer(j, i))
+                dominated = true;
+        }
+        if (!dominated)
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::size_t
+SafetyPoset::explore(const std::function<double(ConfigPoint &)> &eval,
+                     double minPerf)
+{
+    if (!edgesBuilt)
+        buildEdges();
+
+    // Topological walk from the least-safe nodes upward. Performance
+    // decreases monotonically with safety, so once a node misses the
+    // budget every safer node would too: prune the entire up-set
+    // (paper 5: "it can safely stop evaluating a path as soon as a
+    // threshold is reached").
+    std::size_t n = nodes.size();
+    std::vector<int> pendingBelow(n);
+    std::vector<bool> pruned(n, false);
+    std::vector<std::size_t> queue;
+    for (std::size_t i = 0; i < n; ++i) {
+        pendingBelow[i] = static_cast<int>(coveredBy[i].size());
+        if (pendingBelow[i] == 0)
+            queue.push_back(i);
+    }
+
+    std::size_t evaluated = 0;
+    while (!queue.empty()) {
+        std::size_t i = queue.back();
+        queue.pop_back();
+
+        if (pruned[i]) {
+            nodes[i].perf = 0;
+        } else {
+            nodes[i].perf = eval(nodes[i]);
+            ++evaluated;
+            if (nodes[i].perf < minPerf)
+                pruned[i] = true;
+        }
+
+        for (std::size_t up : covers[i]) {
+            if (pruned[i])
+                pruned[up] = true;
+            if (--pendingBelow[up] == 0)
+                queue.push_back(up);
+        }
+    }
+    return evaluated;
+}
+
+std::string
+SafetyPoset::toDot(double minPerf) const
+{
+    std::vector<std::size_t> best = safestWithin(minPerf);
+    std::ostringstream oss;
+    oss << "digraph safety {\n    rankdir=BT;\n";
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        bool starred =
+            std::find(best.begin(), best.end(), i) != best.end();
+        oss << "    n" << i << " [label=\"" << nodes[i].label << "\\n"
+            << static_cast<std::uint64_t>(nodes[i].perf) << "\""
+            << (starred ? ", shape=star, style=filled, fillcolor=green"
+                : nodes[i].perf < minPerf ? ", style=dashed" : "")
+            << "];\n";
+    }
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        for (std::size_t up : covers[i])
+            oss << "    n" << i << " -> n" << up << ";\n";
+    oss << "}\n";
+    return oss.str();
+}
+
+} // namespace flexos

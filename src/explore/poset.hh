@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Partial safety ordering (paper section 5).
+ *
+ * Configurations cannot be totally ordered by safety, but some pairs
+ * are programmatically comparable: safety probabilistically increases
+ * with (1) the number of compartments (partition refinement), (2) data
+ * isolation strength, (3) stackable software hardening, and (4) the
+ * strength of the isolation mechanism. The poset of configurations —
+ * viewed as a DAG — can then be labelled with measured performance and
+ * pruned to the *maximal* (safest) elements meeting a budget.
+ */
+
+#ifndef FLEXOS_EXPLORE_POSET_HH
+#define FLEXOS_EXPLORE_POSET_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace flexos {
+
+/**
+ * One point in the safety configuration space, abstracted for
+ * comparison: components are indices 0..n-1.
+ */
+struct ConfigPoint
+{
+    /** Component -> compartment block id (normalized partition). */
+    std::vector<int> partition;
+    /** Per-component hardening bitmask (bit per mechanism). */
+    std::vector<unsigned> hardening;
+    /** Mechanism strength rank (none=0 < mpk=1 < ept=2). */
+    int mechanismRank = 1;
+    /** Data-isolation rank (shared stack=0 < dss=1 < private+heap=2). */
+    int sharingRank = 1;
+
+    std::string label;
+
+    /** Measured performance (filled by the explorer); higher=faster. */
+    double perf = 0;
+
+    /** Number of distinct compartments in the partition. */
+    int compartments() const;
+};
+
+/** Result of comparing two configurations by safety. */
+enum class SafetyOrder { Less, Equal, Greater, Incomparable };
+
+/**
+ * Compare a and b. Greater means "a is probabilistically safer".
+ */
+SafetyOrder compareSafety(const ConfigPoint &a, const ConfigPoint &b);
+
+/** Whether partition a refines partition b (a splits at least as much). */
+bool refines(const std::vector<int> &a, const std::vector<int> &b);
+
+/**
+ * The configuration poset.
+ */
+class SafetyPoset
+{
+  public:
+    /** Add a configuration; returns its node index. */
+    std::size_t add(ConfigPoint p);
+
+    std::size_t size() const { return nodes.size(); }
+    const ConfigPoint &at(std::size_t i) const { return nodes[i]; }
+    ConfigPoint &at(std::size_t i) { return nodes[i]; }
+
+    /** Build the Hasse diagram (cover edges, transitively reduced). */
+    void buildEdges();
+
+    /** Direct covers of node i (immediately-safer configurations). */
+    const std::vector<std::size_t> &coversOf(std::size_t i) const;
+
+    /**
+     * The safest configurations meeting a performance budget: maximal
+     * elements of the sub-poset { perf >= minPerf } (the paper's green
+     * starred nodes in Figure 8).
+     */
+    std::vector<std::size_t> safestWithin(double minPerf) const;
+
+    /**
+     * Label nodes by running evaluate() bottom-up with monotone
+     * pruning: since performance monotonically decreases with safety,
+     * any node whose predecessor already misses the budget is skipped
+     * (assigned perf 0). @return number of evaluations actually run.
+     */
+    std::size_t explore(const std::function<double(ConfigPoint &)> &eval,
+                        double minPerf);
+
+    /** Graphviz rendering (Figure 8). */
+    std::string toDot(double minPerf) const;
+
+  private:
+    bool strictlySafer(std::size_t a, std::size_t b) const;
+
+    std::vector<ConfigPoint> nodes;
+    std::vector<std::vector<std::size_t>> covers;  ///< safer neighbours
+    std::vector<std::vector<std::size_t>> coveredBy; ///< less-safe nbrs
+    bool edgesBuilt = false;
+};
+
+} // namespace flexos
+
+#endif // FLEXOS_EXPLORE_POSET_HH

@@ -1,0 +1,143 @@
+#include "explore/wayfinder.hh"
+
+#include <sstream>
+
+#include "apps/deploy.hh"
+#include "apps/http.hh"
+#include "apps/redis.hh"
+#include "base/logging.hh"
+
+namespace flexos {
+namespace wayfinder {
+
+std::vector<std::string>
+sweepComponents(const std::string &appLib)
+{
+    return {appLib, "newlib", "uksched", "lwip"};
+}
+
+const std::vector<std::vector<int>> &
+fig6Partitions()
+{
+    static const std::vector<std::vector<int>> parts = {
+        {0, 0, 0, 0}, // A: app+newlib+sched+lwip
+        {0, 0, 1, 0}, // B: sched isolated
+        {0, 0, 0, 1}, // C: lwip isolated
+        {0, 0, 1, 1}, // D: app+newlib / sched+lwip
+        {0, 0, 1, 2}, // E: app+newlib / sched / lwip
+    };
+    return parts;
+}
+
+std::vector<ConfigPoint>
+fig6Space()
+{
+    std::vector<ConfigPoint> out;
+    for (const auto &partition : fig6Partitions()) {
+        for (unsigned mask = 0; mask < 16; ++mask) {
+            ConfigPoint p;
+            p.partition = partition;
+            p.hardening.resize(4);
+            for (unsigned c = 0; c < 4; ++c)
+                p.hardening[c] = (mask >> c) & 1;
+            p.mechanismRank = 1; // MPK
+            p.sharingRank = 1;   // DSS
+            out.push_back(std::move(p));
+        }
+    }
+    return out;
+}
+
+SafetyConfig
+toSafetyConfig(const ConfigPoint &point, const std::string &appLib)
+{
+    std::vector<std::string> comps = sweepComponents(appLib);
+    panic_if(point.partition.size() != comps.size(),
+             "partition arity mismatch");
+
+    int nBlocks = point.compartments();
+    std::ostringstream cfg;
+    cfg << "compartments:\n";
+    int appBlock = point.partition[0];
+    for (int b = 0; b < nBlocks; ++b) {
+        cfg << "- comp" << b + 1 << ":\n";
+        cfg << "    mechanism: intel-mpk\n";
+        if (b == appBlock)
+            cfg << "    default: True\n";
+    }
+    cfg << "libraries:\n";
+    for (std::size_t c = 0; c < comps.size(); ++c) {
+        cfg << "- " << comps[c] << ": comp" << point.partition[c] + 1;
+        if (point.hardening[c])
+            cfg << " [stack-protector, ubsan, kasan]";
+        cfg << "\n";
+    }
+    // Components not varied by the sweep ride in the app compartment.
+    cfg << "- uktime: comp" << appBlock + 1 << "\n";
+    if (appLib == "libnginx")
+        cfg << "- vfscore: comp" << appBlock + 1 << "\n";
+    return SafetyConfig::parse(cfg.str());
+}
+
+std::string
+pointLabel(const ConfigPoint &point, const std::string &appLib)
+{
+    std::vector<std::string> comps = sweepComponents(appLib);
+    std::ostringstream oss;
+    // Partition rendering: blocks joined by '/'.
+    int nBlocks = point.compartments();
+    for (int b = 0; b < nBlocks; ++b) {
+        if (b)
+            oss << " / ";
+        bool first = true;
+        for (std::size_t c = 0; c < comps.size(); ++c) {
+            if (point.partition[c] != b)
+                continue;
+            if (!first)
+                oss << "+";
+            oss << comps[c];
+            first = false;
+        }
+    }
+    oss << "  [";
+    for (std::size_t c = 0; c < comps.size(); ++c)
+        oss << (point.hardening[c] ? "●" : "○");
+    oss << "]";
+    return oss.str();
+}
+
+double
+measureRedis(const ConfigPoint &point, std::uint64_t requests)
+{
+    DeployOptions opts;
+    opts.withFs = false;
+    opts.heapBytes = 2 * 1024 * 1024;
+    opts.sharedHeapBytes = 1 * 1024 * 1024;
+    Deployment dep(toSafetyConfig(point, "libredis"), opts);
+    dep.start();
+    // redis-benchmark default: no pipelining — every request pays the
+    // full per-request communication pattern (paper 6.1).
+    RedisBenchmarkResult res = runRedisGetBenchmark(
+        dep.image(), dep.libc(), dep.clientStack(), requests, 1, 50);
+    dep.stop();
+    return res.requestsPerSec;
+}
+
+double
+measureNginx(const ConfigPoint &point, std::uint64_t requests)
+{
+    DeployOptions opts;
+    opts.heapBytes = 2 * 1024 * 1024;
+    opts.sharedHeapBytes = 1 * 1024 * 1024;
+    Deployment dep(toSafetyConfig(point, "libnginx"), opts);
+    dep.writeFile("/www/index.html", std::string(612, 'w'));
+    dep.start();
+    HttpBenchmarkResult res = runHttpBenchmark(
+        dep.image(), dep.libc(), dep.clientStack(), requests,
+        "/index.html", 1);
+    dep.stop();
+    return res.requestsPerSec;
+}
+
+} // namespace wayfinder
+} // namespace flexos

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Wayfinder-style configuration sweep (paper 6.1): generates the 80
+ * Figure 6 configurations per application — 5 compartmentalization
+ * strategies over {app, newlib, uksched, lwip} times 2^4 per-component
+ * hardening bundles — materializes each as a SafetyConfig, and measures
+ * it with the application benchmark.
+ */
+
+#ifndef FLEXOS_EXPLORE_WAYFINDER_HH
+#define FLEXOS_EXPLORE_WAYFINDER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "explore/poset.hh"
+
+namespace flexos {
+namespace wayfinder {
+
+/** The components varied in the Figure 6 sweep, index order. */
+std::vector<std::string> sweepComponents(const std::string &appLib);
+
+/**
+ * The five compartmentalization strategies of Figure 8:
+ * A all-in-one, B scheduler split, C lwip split, D app+newlib vs
+ * sched+lwip, E app+newlib / sched / lwip.
+ */
+const std::vector<std::vector<int>> &fig6Partitions();
+
+/** All 80 configuration points (5 partitions x 16 hardening masks). */
+std::vector<ConfigPoint> fig6Space();
+
+/**
+ * Materialize a sweep point as a full safety configuration for the
+ * given application (MPK + DSS, as Figure 6 fixes).
+ */
+SafetyConfig toSafetyConfig(const ConfigPoint &point,
+                            const std::string &appLib);
+
+/** Measured Redis GET throughput (req/s) for a configuration. */
+double measureRedis(const ConfigPoint &point, std::uint64_t requests);
+
+/** Measured Nginx throughput (req/s) for a configuration. */
+double measureNginx(const ConfigPoint &point, std::uint64_t requests);
+
+/** Human-readable row label: partition plus hardening dots. */
+std::string pointLabel(const ConfigPoint &point,
+                       const std::string &appLib);
+
+} // namespace wayfinder
+} // namespace flexos
+
+#endif // FLEXOS_EXPLORE_WAYFINDER_HH

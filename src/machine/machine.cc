@@ -1,0 +1,122 @@
+#include "machine/machine.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace flexos {
+
+namespace {
+
+/** Active machine; single-host-thread model, so a plain static works. */
+Machine *currentMachine = nullptr;
+
+std::string
+describeFault(const void *addr, ProtKey key, AccessType at,
+              const std::string &region)
+{
+    std::ostringstream oss;
+    oss << "protection fault: "
+        << (at == AccessType::Write ? "write"
+            : at == AccessType::Read ? "read" : "exec")
+        << " to " << addr << " in region '" << region << "' (key "
+        << int(key) << ") denied by PKRU";
+    return oss.str();
+}
+
+} // namespace
+
+ProtectionFault::ProtectionFault(const void *addr, ProtKey key,
+                                 AccessType at, const std::string &region)
+    : std::runtime_error(describeFault(addr, key, at, region)),
+      addr(addr), key(key), access(at), region(region)
+{
+}
+
+Machine::Machine(TimingModel tm) : timing(tm)
+{
+}
+
+Machine::~Machine() = default;
+
+double
+Machine::seconds() const
+{
+    return static_cast<double>(cycleCount) / (timing.cpuGhz * 1e9);
+}
+
+std::uint64_t
+Machine::nanoseconds() const
+{
+    return static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(cycleCount) / timing.cpuGhz));
+}
+
+void
+Machine::checkAccess(const void *p, std::size_t size, AccessType at)
+{
+    if (enforcement == Enforcement::Off)
+        return;
+
+    const MemRegion *r = memMap.find(p);
+    if (!r)
+        return; // Unregistered memory is simulator-internal.
+
+    // A multi-byte access must stay within one region to be well formed;
+    // straddling a region boundary is checked against the first region
+    // only, as real paging would fault on the first offending page.
+    (void)size;
+
+    if (pkru.permits(r->key, at))
+        return;
+
+    ++violations;
+    bump("mmu.violations");
+    if (enforcement == Enforcement::Enforcing)
+        throw ProtectionFault(p, r->key, at, r->name);
+}
+
+void
+Machine::bump(const std::string &counter, std::uint64_t n)
+{
+    stats[counter] += n;
+}
+
+std::uint64_t
+Machine::counter(const std::string &name) const
+{
+    auto it = stats.find(name);
+    return it == stats.end() ? 0 : it->second;
+}
+
+const std::map<std::string, std::uint64_t> &
+Machine::counters() const
+{
+    return stats;
+}
+
+Machine &
+Machine::current()
+{
+    panic_if(!currentMachine, "no MachineScope installed");
+    return *currentMachine;
+}
+
+bool
+Machine::hasCurrent()
+{
+    return currentMachine != nullptr;
+}
+
+MachineScope::MachineScope(Machine &m) : saved(currentMachine)
+{
+    currentMachine = &m;
+}
+
+MachineScope::~MachineScope()
+{
+    currentMachine = saved;
+}
+
+} // namespace flexos

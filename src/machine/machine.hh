@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The simulated machine: virtual cycle clock, MMU (region map + PKRU
+ * check), enforcement policy, and event counters.
+ *
+ * Everything in the repository executes against exactly one Machine at a
+ * time (runs are single-threaded and deterministic). Deep substrate code
+ * reaches the active machine through Machine::current(), installed with a
+ * MachineScope RAII guard by images and test fixtures.
+ */
+
+#ifndef FLEXOS_MACHINE_MACHINE_HH
+#define FLEXOS_MACHINE_MACHINE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "machine/memmap.hh"
+#include "machine/pkru.hh"
+#include "machine/timing.hh"
+
+namespace flexos {
+
+/**
+ * Raised when an access violates the current PKRU/key configuration and
+ * enforcement is on; the analogue of the MPK page fault (paper 4.1).
+ */
+class ProtectionFault : public std::runtime_error
+{
+  public:
+    ProtectionFault(const void *addr, ProtKey key, AccessType at,
+                    const std::string &region);
+
+    const void *addr;
+    ProtKey key;
+    AccessType access;
+    std::string region;
+};
+
+/** What the MMU does on a key-permission mismatch. */
+enum class Enforcement
+{
+    Off,        ///< No checks at all (pure timing runs).
+    Permissive, ///< Count violations but let them pass (porting workflow).
+    Enforcing,  ///< Raise ProtectionFault (deployed image).
+};
+
+/**
+ * The simulated machine.
+ */
+class Machine
+{
+  public:
+    explicit Machine(TimingModel tm = TimingModel{});
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** @name Virtual time. @{ */
+    /** Charge c cycles of work to the virtual clock. */
+    void
+    consume(Cycles c)
+    {
+        if (chargingEnabled)
+            cycleCount += applyMultiplier(c);
+    }
+    /** Charge a per-byte cost in 16-byte chunks (copies, checksums). */
+    void
+    consumePerByte(std::size_t bytes, Cycles per16)
+    {
+        if (chargingEnabled)
+            cycleCount += applyMultiplier((bytes + 15) / 16 * per16);
+    }
+
+    /**
+     * Work multiplier applied to every charge; call gates set it to the
+     * target compartment's software-hardening factor (paper 4.5: KASan,
+     * UBSan etc. instrument the component's own execution). 1.0 = none.
+     */
+    double workMultiplier = 1.0;
+
+    /**
+     * Whether consume() advances the clock. The scheduler clears this
+     * while "free-running" threads execute: load generators standing in
+     * for the paper's client machines (which run on separate cores and
+     * do not count towards server-side time).
+     */
+    bool chargingEnabled = true;
+    /** Cycles elapsed since construction. */
+    Cycles cycles() const { return cycleCount; }
+    /** Virtual wall-clock seconds at the model frequency. */
+    double seconds() const;
+    /** Virtual nanoseconds. */
+    std::uint64_t nanoseconds() const;
+    /** @} */
+
+    /** @name MMU. @{ */
+    /** The machine's region map (compartment heaps, stacks, sections). */
+    MemoryMap memMap;
+
+    /** Current PKRU value (the running thread's; swapped by the sched). */
+    Pkru pkru;
+
+    /**
+     * MMU access check: find the region covering p; if it carries a key
+     * the current PKRU does not permit, fault per the enforcement mode.
+     * Unregistered memory is simulator-internal and always passes.
+     */
+    void checkAccess(const void *p, std::size_t size, AccessType at);
+
+    Enforcement enforcement = Enforcement::Enforcing;
+
+    /** Number of violations observed (Permissive mode keeps counting). */
+    std::uint64_t violations = 0;
+    /** @} */
+
+    /** @name Statistics. @{ */
+    /** Bump a named event counter (gate crossings, faults, RPCs...). */
+    void bump(const std::string &counter, std::uint64_t n = 1);
+    std::uint64_t counter(const std::string &name) const;
+    const std::map<std::string, std::uint64_t> &counters() const;
+    /** @} */
+
+    /** The timing model in force. */
+    TimingModel timing;
+
+    /** The machine the current thread of execution runs against. */
+    static Machine &current();
+
+    /** Whether a machine scope is installed. */
+    static bool hasCurrent();
+
+  private:
+    friend class MachineScope;
+
+    Cycles
+    applyMultiplier(Cycles c) const
+    {
+        if (workMultiplier == 1.0)
+            return c;
+        return static_cast<Cycles>(static_cast<double>(c) *
+                                   workMultiplier);
+    }
+
+    Cycles cycleCount = 0;
+    std::map<std::string, std::uint64_t> stats;
+};
+
+/**
+ * RAII guard installing a Machine as Machine::current(). Scopes nest.
+ */
+class MachineScope
+{
+  public:
+    explicit MachineScope(Machine &m);
+    ~MachineScope();
+
+    MachineScope(const MachineScope &) = delete;
+    MachineScope &operator=(const MachineScope &) = delete;
+
+  private:
+    Machine *saved;
+};
+
+/** Convenience: charge cycles to the current machine. */
+inline void
+consumeCycles(Cycles c)
+{
+    Machine::current().consume(c);
+}
+
+} // namespace flexos
+
+#endif // FLEXOS_MACHINE_MACHINE_HH

@@ -1,0 +1,58 @@
+#include "machine/memmap.hh"
+
+#include "base/logging.hh"
+
+namespace flexos {
+
+void
+MemoryMap::add(const void *base, std::size_t size, ProtKey key,
+               std::string name)
+{
+    panic_if(size == 0, "empty region '", name, "'");
+    auto addr = reinterpret_cast<std::uintptr_t>(base);
+
+    // Reject overlap with the predecessor and successor regions.
+    auto it = regions.upper_bound(addr);
+    if (it != regions.begin()) {
+        auto prev = std::prev(it);
+        panic_if(prev->second.base + prev->second.size > addr,
+                 "region '", name, "' overlaps '", prev->second.name, "'");
+    }
+    if (it != regions.end()) {
+        panic_if(addr + size > it->second.base,
+                 "region '", name, "' overlaps '", it->second.name, "'");
+    }
+
+    regions.emplace(addr, MemRegion{addr, size, key, std::move(name)});
+}
+
+void
+MemoryMap::remove(const void *base)
+{
+    auto addr = reinterpret_cast<std::uintptr_t>(base);
+    auto it = regions.find(addr);
+    panic_if(it == regions.end(), "removing unknown region");
+    regions.erase(it);
+}
+
+void
+MemoryMap::retag(const void *base, ProtKey key)
+{
+    auto addr = reinterpret_cast<std::uintptr_t>(base);
+    auto it = regions.find(addr);
+    panic_if(it == regions.end(), "retagging unknown region");
+    it->second.key = key;
+}
+
+const MemRegion *
+MemoryMap::find(const void *p) const
+{
+    auto addr = reinterpret_cast<std::uintptr_t>(p);
+    auto it = regions.upper_bound(addr);
+    if (it == regions.begin())
+        return nullptr;
+    --it;
+    return it->second.contains(addr) ? &it->second : nullptr;
+}
+
+} // namespace flexos

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Region map: the simulated machine's view of protected memory.
+ *
+ * Real MPK tags page-table entries with protection keys. This model tags
+ * *regions* (heaps, stacks, per-compartment static sections, shared
+ * windows) instead: every byte of memory that belongs to a compartment is
+ * registered here with its key, and the MMU check consults this map.
+ * Host memory that is not registered is outside the isolation model
+ * (simulator-internal state) and is never checked.
+ */
+
+#ifndef FLEXOS_MACHINE_MEMMAP_HH
+#define FLEXOS_MACHINE_MEMMAP_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "machine/pkru.hh"
+
+namespace flexos {
+
+/** A contiguous key-tagged memory region. */
+struct MemRegion
+{
+    std::uintptr_t base = 0;
+    std::size_t size = 0;
+    ProtKey key = 0;
+    std::string name;
+
+    bool
+    contains(std::uintptr_t addr) const
+    {
+        return addr >= base && addr < base + size;
+    }
+};
+
+/**
+ * Sorted, non-overlapping set of regions with point lookup.
+ */
+class MemoryMap
+{
+  public:
+    /** Register a region. @return the region id (its base). */
+    void add(const void *base, std::size_t size, ProtKey key,
+             std::string name);
+
+    /** Remove the region starting exactly at base. */
+    void remove(const void *base);
+
+    /** Re-tag an existing region with a new key (pkey_mprotect analog). */
+    void retag(const void *base, ProtKey key);
+
+    /** Find the region covering p, or nullptr if unregistered. */
+    const MemRegion *find(const void *p) const;
+
+    /** Number of registered regions. */
+    std::size_t count() const { return regions.size(); }
+
+    /** Drop everything (image teardown). */
+    void clear() { regions.clear(); }
+
+  private:
+    /** Keyed by base address. */
+    std::map<std::uintptr_t, MemRegion> regions;
+};
+
+} // namespace flexos
+
+#endif // FLEXOS_MACHINE_MEMMAP_HH

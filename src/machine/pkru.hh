@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Model of Intel MPK protection keys and the per-thread PKRU register.
+ *
+ * MPK tags each page with one of 16 protection keys; the PKRU register
+ * holds two bits per key: AD (access disable) and WD (write disable). On
+ * every access the MMU compares the target page's key against PKRU. This
+ * header models the register and the key arithmetic exactly; the paging
+ * granularity is replaced by the region map (see memmap.hh).
+ */
+
+#ifndef FLEXOS_MACHINE_PKRU_HH
+#define FLEXOS_MACHINE_PKRU_HH
+
+#include <cstdint>
+#include <initializer_list>
+
+#include "base/logging.hh"
+
+namespace flexos {
+
+/** A protection key, 0..15 as in Intel MPK. */
+using ProtKey = std::uint8_t;
+
+/** Number of protection keys offered by the MPK model. */
+inline constexpr unsigned numProtKeys = 16;
+
+/** Kinds of memory access checked by the MMU. */
+enum class AccessType { Read, Write, Exec };
+
+/**
+ * The PKRU register value: bit (2k) = AD for key k, bit (2k+1) = WD.
+ * A key permits reads iff AD=0 and writes iff AD=0 and WD=0.
+ */
+class Pkru
+{
+  public:
+    /** All keys denied (the safe reset state for gate transitions). */
+    static constexpr std::uint32_t denyAllValue = 0xffffffffu;
+
+    /** All keys allowed (the no-isolation configuration). */
+    static constexpr std::uint32_t allowAllValue = 0x00000000u;
+
+    Pkru() : value_(allowAllValue) {}
+    explicit Pkru(std::uint32_t raw) : value_(raw) {}
+
+    /** Construct a register allowing exactly the given keys (R+W). */
+    static Pkru
+    allowing(std::initializer_list<ProtKey> keys)
+    {
+        Pkru p(denyAllValue);
+        for (ProtKey k : keys)
+            p.allow(k);
+        return p;
+    }
+
+    /** Raw 32-bit register value. */
+    std::uint32_t value() const { return value_; }
+
+    /** Grant read+write on a key. */
+    void
+    allow(ProtKey key)
+    {
+        checkKey(key);
+        value_ &= ~(0x3u << (2 * key));
+    }
+
+    /** Grant read-only on a key (AD=0, WD=1). */
+    void
+    allowReadOnly(ProtKey key)
+    {
+        checkKey(key);
+        value_ &= ~(0x3u << (2 * key));
+        value_ |= 0x2u << (2 * key);
+    }
+
+    /** Revoke all access on a key. */
+    void
+    deny(ProtKey key)
+    {
+        checkKey(key);
+        value_ |= 0x3u << (2 * key);
+    }
+
+    /** Whether this register value permits the given access on a key. */
+    bool
+    permits(ProtKey key, AccessType at) const
+    {
+        checkKey(key);
+        bool ad = value_ & (0x1u << (2 * key));
+        bool wd = value_ & (0x2u << (2 * key));
+        switch (at) {
+          case AccessType::Read:
+          case AccessType::Exec:
+            // MPK does not restrict instruction fetches; Exec passes the
+            // PKRU check (W^X / CFI handle execution, paper 4.1).
+            return at == AccessType::Exec ? true : !ad;
+          case AccessType::Write:
+            return !ad && !wd;
+        }
+        return false;
+    }
+
+    bool operator==(const Pkru &o) const = default;
+
+  private:
+    static void
+    checkKey(ProtKey key)
+    {
+        panic_if(key >= numProtKeys, "protection key ", int(key),
+                 " out of range");
+    }
+
+    std::uint32_t value_;
+};
+
+} // namespace flexos
+
+#endif // FLEXOS_MACHINE_PKRU_HH

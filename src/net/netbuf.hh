@@ -1,0 +1,100 @@
+/**
+ * @file
+ * NetBuf: a packet buffer with headroom, in the spirit of Unikraft's
+ * uknetbuf / lwIP's pbuf. Payload is written once; protocol layers
+ * prepend their headers into the headroom without copying.
+ */
+
+#ifndef FLEXOS_NET_NETBUF_HH
+#define FLEXOS_NET_NETBUF_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace flexos {
+
+/**
+ * A single frame buffer. Capacity is fixed at construction; data occupies
+ * [dataOff, dataOff + dataLen) within the storage.
+ */
+class NetBuf
+{
+  public:
+    /** Standard Ethernet-ish frame capacity with headroom. */
+    static constexpr std::size_t defaultCapacity = 2048;
+    static constexpr std::size_t defaultHeadroom = 64;
+
+    explicit NetBuf(std::size_t capacity = defaultCapacity,
+                    std::size_t headroom = defaultHeadroom)
+        : storage(capacity), dataOff(headroom), dataLen(0)
+    {
+        panic_if(headroom > capacity, "headroom exceeds capacity");
+    }
+
+    /** Pointer to the first data byte. */
+    std::uint8_t *data() { return storage.data() + dataOff; }
+    const std::uint8_t *data() const { return storage.data() + dataOff; }
+
+    /** Bytes of live data. */
+    std::size_t size() const { return dataLen; }
+
+    /** Remaining headroom for prepending headers. */
+    std::size_t headroom() const { return dataOff; }
+
+    /** Remaining tailroom for appending payload. */
+    std::size_t
+    tailroom() const
+    {
+        return storage.size() - dataOff - dataLen;
+    }
+
+    /** Prepend n bytes (header push). @return pointer to the new front */
+    std::uint8_t *
+    push(std::size_t n)
+    {
+        panic_if(n > dataOff, "netbuf headroom exhausted");
+        dataOff -= n;
+        dataLen += n;
+        return data();
+    }
+
+    /** Drop n bytes from the front (header pull). */
+    void
+    pull(std::size_t n)
+    {
+        panic_if(n > dataLen, "netbuf pull beyond data");
+        dataOff += n;
+        dataLen -= n;
+    }
+
+    /** Append payload bytes at the tail. */
+    void
+    append(const void *src, std::size_t n)
+    {
+        panic_if(n > tailroom(), "netbuf tailroom exhausted");
+        std::memcpy(storage.data() + dataOff + dataLen, src, n);
+        dataLen += n;
+    }
+
+    /** Extend the tail by n uninitialized bytes and return its start. */
+    std::uint8_t *
+    extend(std::size_t n)
+    {
+        panic_if(n > tailroom(), "netbuf tailroom exhausted");
+        std::uint8_t *p = storage.data() + dataOff + dataLen;
+        dataLen += n;
+        return p;
+    }
+
+  private:
+    std::vector<std::uint8_t> storage;
+    std::size_t dataOff;
+    std::size_t dataLen;
+};
+
+} // namespace flexos
+
+#endif // FLEXOS_NET_NETBUF_HH

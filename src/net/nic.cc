@@ -1,0 +1,42 @@
+#include "net/nic.hh"
+
+namespace flexos {
+
+Link::Link()
+{
+    a.peer = &b;
+    b.peer = &a;
+}
+
+void
+NicEndpoint::transmit(NetBuf frame)
+{
+    if (Machine::hasCurrent()) {
+        auto &m = Machine::current();
+        m.consume(m.timing.nicFrame);
+        m.bump("nic.tx");
+    }
+    if (peer->rxFilter && !peer->rxFilter(frame)) {
+        if (Machine::hasCurrent())
+            Machine::current().bump("nic.dropped");
+        return;
+    }
+    peer->rxQueue.push_back(std::move(frame));
+}
+
+std::optional<NetBuf>
+NicEndpoint::receive()
+{
+    if (rxQueue.empty())
+        return std::nullopt;
+    if (Machine::hasCurrent()) {
+        auto &m = Machine::current();
+        m.consume(m.timing.nicFrame);
+        m.bump("nic.rx");
+    }
+    NetBuf f = std::move(rxQueue.front());
+    rxQueue.pop_front();
+    return f;
+}
+
+} // namespace flexos

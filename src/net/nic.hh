@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Simulated point-to-point NIC link.
+ *
+ * Two endpoints, each with an RX queue; transmitting on one endpoint
+ * enqueues at the peer. A fault injector can drop, duplicate or reorder
+ * frames (used by the TCP property tests). Frame handling charges the
+ * NIC descriptor cost.
+ */
+
+#ifndef FLEXOS_NET_NIC_HH
+#define FLEXOS_NET_NIC_HH
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "machine/machine.hh"
+#include "net/netbuf.hh"
+
+namespace flexos {
+
+class Link;
+
+/**
+ * One end of a link.
+ */
+class NicEndpoint
+{
+  public:
+    /** Transmit a frame to the peer endpoint. */
+    void transmit(NetBuf frame);
+
+    /** Pop the next received frame, if any. */
+    std::optional<NetBuf> receive();
+
+    /** Frames waiting in the RX queue. */
+    std::size_t pending() const { return rxQueue.size(); }
+
+    /**
+     * Fault injector applied to frames *arriving* at this endpoint.
+     * Return false to drop the frame. May stash frames to reorder.
+     */
+    std::function<bool(NetBuf &)> rxFilter;
+
+  private:
+    friend class Link;
+
+    NicEndpoint() = default;
+
+    NicEndpoint *peer = nullptr;
+    std::deque<NetBuf> rxQueue;
+};
+
+/**
+ * A full-duplex link joining two endpoints.
+ */
+class Link
+{
+  public:
+    Link();
+
+    NicEndpoint &endA() { return a; }
+    NicEndpoint &endB() { return b; }
+
+  private:
+    NicEndpoint a;
+    NicEndpoint b;
+};
+
+} // namespace flexos
+
+#endif // FLEXOS_NET_NIC_HH

@@ -1,0 +1,601 @@
+#include "net/tcp.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace flexos {
+
+TcpSocket::TcpSocket(NetStack &s)
+    : stack(s), readers(s.sched), writers(s.sched), connectWait(s.sched),
+      acceptWait(s.sched)
+{
+    rtoNs = s.baseRtoNs;
+}
+
+std::uint16_t
+TcpSocket::advertisedWindow() const
+{
+    std::size_t used = rcvBuf.size();
+    std::size_t free = used >= bufMax ? 0 : bufMax - used;
+    return static_cast<std::uint16_t>(std::min<std::size_t>(free, 0xffff));
+}
+
+std::size_t
+TcpSocket::dataInFlight() const
+{
+    return flightData;
+}
+
+long
+TcpSocket::send(const void *buf, std::size_t n)
+{
+    panic_if(st == State::Listen, "send() on a listening socket");
+    const auto *p = static_cast<const std::uint8_t *>(buf);
+    std::size_t done = 0;
+    while (done < n) {
+        if (errored)
+            return -1;
+        if (st != State::Established && st != State::CloseWait)
+            return done ? static_cast<long>(done) : -1;
+        if (sndQueue.size() >= bufMax) {
+            writers.wait();
+            continue;
+        }
+        std::size_t room = bufMax - sndQueue.size();
+        std::size_t chunk = std::min(room, n - done);
+        sndQueue.insert(sndQueue.end(), p + done, p + done + chunk);
+        stack.mach.consumePerByte(chunk, stack.mach.timing.copyPer16B);
+        done += chunk;
+        transmit();
+    }
+    return static_cast<long>(done);
+}
+
+long
+TcpSocket::recv(void *buf, std::size_t n)
+{
+    panic_if(st == State::Listen, "recv() on a listening socket");
+    while (rcvBuf.empty()) {
+        if (errored)
+            return -1;
+        if (peerClosed || st == State::Closed)
+            return 0; // orderly EOF
+        readers.wait();
+    }
+    std::size_t got = std::min(n, rcvBuf.size());
+    auto *out = static_cast<std::uint8_t *>(buf);
+    std::copy(rcvBuf.begin(), rcvBuf.begin() + got, out);
+    rcvBuf.erase(rcvBuf.begin(), rcvBuf.begin() + got);
+    stack.mach.consumePerByte(got, stack.mach.timing.copyPer16B);
+    maybeSendWindowUpdate();
+    return static_cast<long>(got);
+}
+
+void
+TcpSocket::maybeSendWindowUpdate()
+{
+    // If the window we last advertised was effectively closed and space
+    // has reopened, tell the peer or it will stall on a zero window.
+    if (lastAdvWindow < mss && advertisedWindow() >= mss &&
+        st == State::Established)
+        sendControl(tcpAck);
+}
+
+TcpSocket *
+TcpSocket::accept()
+{
+    panic_if(st != State::Listen, "accept() on a non-listening socket");
+    while (acceptQueue.empty())
+        acceptWait.wait();
+    TcpSocket *child = acceptQueue.front();
+    acceptQueue.pop_front();
+    return child;
+}
+
+void
+TcpSocket::close()
+{
+    if (st == State::Listen || st == State::Closed)
+        return;
+    if (errored) {
+        st = State::Closed;
+        return;
+    }
+    finQueued = true;
+    transmit();
+}
+
+void
+TcpSocket::abort()
+{
+    sendControl(tcpRst);
+    failConnection();
+}
+
+void
+TcpSocket::failConnection()
+{
+    errored = true;
+    st = State::Closed;
+    cancelRetransmit();
+    readers.wakeAll();
+    writers.wakeAll();
+    connectWait.wakeAll();
+}
+
+void
+TcpSocket::enterEstablished()
+{
+    st = State::Established;
+    synInFlight = false;
+    connectWait.wakeAll();
+    if (parent) {
+        parent->acceptQueue.push_back(this);
+        parent->acceptWait.wakeOne();
+    }
+}
+
+void
+TcpSocket::handleSegment(const TcpHeader &h, const std::uint8_t *payload,
+                         std::size_t len)
+{
+    stack.mach.consume(stack.mach.timing.packetProc);
+
+    if (h.flags & tcpRst) {
+        failConnection();
+        return;
+    }
+
+    switch (st) {
+      case State::SynSent:
+        if ((h.flags & (tcpSyn | tcpAck)) == (tcpSyn | tcpAck) &&
+            h.ack == iss + 1) {
+            rcvNxt = h.seq + 1;
+            sndUna = h.ack;
+            peerWindow = h.window;
+            enterEstablished();
+            sendControl(tcpAck);
+            cancelRetransmit();
+        }
+        return;
+
+      case State::SynRcvd:
+        if (h.flags & tcpAck && h.ack == iss + 1) {
+            sndUna = h.ack;
+            peerWindow = h.window;
+            cancelRetransmit();
+            enterEstablished();
+            // Fall through to data processing: the ACK may carry data.
+            if (len)
+                handleData(h, payload, len);
+        }
+        return;
+
+      case State::Established:
+      case State::FinWait1:
+      case State::FinWait2:
+      case State::CloseWait:
+      case State::LastAck:
+        if (h.flags & tcpAck)
+            handleAck(h);
+        if (len)
+            handleData(h, payload, len);
+        if (h.flags & tcpFin)
+            handleFin(h, len);
+        transmit();
+        return;
+
+      case State::Closed:
+      case State::Listen:
+        return;
+    }
+}
+
+void
+TcpSocket::handleAck(const TcpHeader &h)
+{
+    peerWindow = h.window;
+    if (!seqLt(sndUna, h.ack) || !seqLe(h.ack, sndNxt))
+        return; // duplicate or out-of-range ACK
+
+    std::uint32_t acked = h.ack - sndUna;
+    std::size_t dataAcked =
+        std::min<std::size_t>(acked, dataInFlight());
+    sndQueue.erase(sndQueue.begin(),
+                   sndQueue.begin() + static_cast<long>(dataAcked));
+    flightData -= dataAcked;
+    sndUna = h.ack;
+    if (finInFlight && seqLt(finSeq, h.ack)) {
+        finAcked = true;
+        finInFlight = false;
+        if (st == State::FinWait1)
+            st = peerClosed ? State::Closed : State::FinWait2;
+        else if (st == State::LastAck)
+            st = State::Closed;
+    }
+    writers.wakeAll();
+
+    // Reset the retransmission clock on forward progress.
+    cancelRetransmit();
+    rtoNs = stack.baseRtoNs;
+    if (dataInFlight() > 0 || finInFlight || synInFlight)
+        armRetransmit();
+}
+
+void
+TcpSocket::handleData(const TcpHeader &h, const std::uint8_t *payload,
+                      std::size_t len)
+{
+    stack.mach.consumePerByte(len, stack.mach.timing.csumPer16B);
+
+    if (h.seq == rcvNxt) {
+        rcvBuf.insert(rcvBuf.end(), payload, payload + len);
+        stack.mach.consumePerByte(len, stack.mach.timing.copyPer16B);
+        rcvNxt += static_cast<std::uint32_t>(len);
+
+        // Merge any out-of-order segments that are now contiguous.
+        for (auto it = outOfOrder.begin(); it != outOfOrder.end();) {
+            std::uint32_t segSeq = it->first;
+            auto &seg = it->second;
+            std::uint32_t segEnd =
+                segSeq + static_cast<std::uint32_t>(seg.size());
+            if (seqLe(segEnd, rcvNxt)) {
+                it = outOfOrder.erase(it); // fully duplicate
+                continue;
+            }
+            if (seqLe(segSeq, rcvNxt)) {
+                std::size_t skip = rcvNxt - segSeq;
+                rcvBuf.insert(rcvBuf.end(), seg.begin() + skip, seg.end());
+                rcvNxt = segEnd;
+                it = outOfOrder.erase(it);
+                continue;
+            }
+            break; // still a gap
+        }
+        readers.wakeAll();
+    } else if (seqLt(rcvNxt, h.seq)) {
+        // Future segment: stash for reassembly.
+        outOfOrder.emplace(h.seq,
+                           std::vector<std::uint8_t>(payload, payload + len));
+        stack.mach.bump("tcp.outOfOrder");
+    } else {
+        stack.mach.bump("tcp.duplicates");
+    }
+    sendControl(tcpAck);
+}
+
+void
+TcpSocket::handleFin(const TcpHeader &h, std::size_t payloadLen)
+{
+    std::uint32_t finPos = h.seq + static_cast<std::uint32_t>(payloadLen);
+    if (finPos != rcvNxt)
+        return; // FIN beyond a gap; wait for retransmission
+    rcvNxt += 1;
+    peerClosed = true;
+    readers.wakeAll();
+    sendControl(tcpAck);
+    if (st == State::Established)
+        st = State::CloseWait;
+    else if (st == State::FinWait1 && finAcked)
+        st = State::Closed;
+    else if (st == State::FinWait2)
+        st = State::Closed;
+}
+
+void
+TcpSocket::transmit()
+{
+    if (st != State::Established && st != State::CloseWait &&
+        st != State::FinWait1 && st != State::LastAck)
+        return;
+
+    while (true) {
+        std::size_t unsent = sndQueue.size() - dataInFlight();
+        if (unsent == 0)
+            break;
+        std::size_t inFlight = dataInFlight();
+        std::size_t allowed =
+            peerWindow > inFlight ? peerWindow - inFlight : 0;
+        if (allowed == 0)
+            break; // window closed; probe timer will take over
+        std::size_t chunk = std::min({unsent, allowed, mss});
+
+        // Gather the chunk from the deque (it is not contiguous).
+        std::vector<std::uint8_t> seg(chunk);
+        std::copy(sndQueue.begin() + static_cast<long>(inFlight),
+                  sndQueue.begin() + static_cast<long>(inFlight + chunk),
+                  seg.begin());
+        sendDataSegment(sndNxt, seg.data(), chunk);
+        sndNxt += static_cast<std::uint32_t>(chunk);
+        flightData += chunk;
+        armRetransmit();
+    }
+
+    // Emit the FIN once all queued data has been handed to the wire.
+    if (finQueued && !finInFlight && !finAcked &&
+        sndQueue.size() - dataInFlight() == 0 && dataInFlight() == 0) {
+        finSeq = sndNxt;
+        sendControl(tcpFin | tcpAck);
+        sndNxt += 1;
+        finInFlight = true;
+        finQueued = false;
+        st = (st == State::CloseWait) ? State::LastAck : State::FinWait1;
+        armRetransmit();
+    }
+}
+
+void
+TcpSocket::sendControl(std::uint8_t flags)
+{
+    std::uint32_t seq = (flags & tcpSyn) ? iss : sndNxt;
+    stack.sendSegment(*this, flags, seq, nullptr, 0);
+    lastAdvWindow = advertisedWindow();
+}
+
+void
+TcpSocket::sendDataSegment(std::uint32_t seq, const std::uint8_t *data,
+                           std::size_t len)
+{
+    stack.sendSegment(*this, tcpAck | tcpPsh, seq, data, len);
+    lastAdvWindow = advertisedWindow();
+}
+
+void
+TcpSocket::armRetransmit()
+{
+    if (rtxTimer)
+        return;
+    rtxTimer = stack.timers.arm(rtoNs, [this] { onRetransmitTimeout(); });
+}
+
+void
+TcpSocket::cancelRetransmit()
+{
+    if (rtxTimer) {
+        stack.timers.cancel(rtxTimer);
+        rtxTimer = 0;
+    }
+}
+
+void
+TcpSocket::onRetransmitTimeout()
+{
+    rtxTimer = 0;
+    if (st == State::Closed)
+        return;
+
+    stack.mach.bump("tcp.retransmits");
+    if (synInFlight) {
+        stack.sendSegment(*this, st == State::SynRcvd
+                                     ? std::uint8_t(tcpSyn | tcpAck)
+                                     : std::uint8_t(tcpSyn),
+                          iss, nullptr, 0);
+    } else if (dataInFlight() > 0) {
+        std::size_t chunk = std::min(dataInFlight(), mss);
+        std::vector<std::uint8_t> seg(sndQueue.begin(),
+                                      sndQueue.begin() +
+                                          static_cast<long>(chunk));
+        sendDataSegment(sndUna, seg.data(), chunk);
+    } else if (finInFlight) {
+        stack.sendSegment(*this, tcpFin | tcpAck, finSeq, nullptr, 0);
+    } else if (sndQueue.size() > 0 && peerWindow == 0) {
+        sendControl(tcpAck); // zero-window probe
+    } else {
+        return; // nothing outstanding
+    }
+
+    rtoNs = std::min<std::uint64_t>(rtoNs * 2, 4'000'000'000ull);
+    armRetransmit();
+}
+
+NetStack::NetStack(Machine &m, Scheduler &s, NicEndpoint &nicEnd,
+                   std::uint32_t ip)
+    : mach(m), sched(s), nic(nicEnd), ipAddr(ip), timers(m)
+{
+}
+
+NetStack::~NetStack() = default;
+
+TcpSocket *
+NetStack::makeSocket()
+{
+    sockets.push_back(std::unique_ptr<TcpSocket>(new TcpSocket(*this)));
+    return sockets.back().get();
+}
+
+void
+NetStack::registerFlow(TcpSocket *s)
+{
+    FlowKey key{s->lPort, s->rIp, s->rPort};
+    panic_if(flows.count(key), "duplicate TCP flow");
+    flows[key] = s;
+}
+
+void
+NetStack::unregisterFlow(TcpSocket *s)
+{
+    flows.erase(FlowKey{s->lPort, s->rIp, s->rPort});
+}
+
+std::uint16_t
+NetStack::ephemeralPort()
+{
+    return nextEphemeral++;
+}
+
+std::uint32_t
+NetStack::pickIss()
+{
+    issCounter += 64000;
+    return issCounter;
+}
+
+TcpSocket *
+NetStack::listen(std::uint16_t port)
+{
+    fatal_if(listeners.count(port), "port ", port, " already listening");
+    TcpSocket *s = makeSocket();
+    s->st = TcpSocket::State::Listen;
+    s->lPort = port;
+    listeners[port] = s;
+    return s;
+}
+
+TcpSocket *
+NetStack::connect(std::uint32_t dstIp, std::uint16_t dstPort)
+{
+    TcpSocket *s = makeSocket();
+    s->lPort = ephemeralPort();
+    s->rIp = dstIp;
+    s->rPort = dstPort;
+    s->iss = pickIss();
+    s->sndUna = s->iss;
+    s->sndNxt = s->iss + 1;
+    s->synInFlight = true;
+    s->st = TcpSocket::State::SynSent;
+    registerFlow(s);
+    sendSegment(*s, tcpSyn, s->iss, nullptr, 0);
+    s->armRetransmit();
+
+    while (s->st == TcpSocket::State::SynSent)
+        s->connectWait.wait();
+    return s->established() ? s : nullptr;
+}
+
+void
+NetStack::sendSegment(TcpSocket &sock, std::uint8_t flags,
+                      std::uint32_t seq, const std::uint8_t *payload,
+                      std::size_t len)
+{
+    mach.consume(mach.timing.packetProc);
+    mach.consumePerByte(len, mach.timing.csumPer16B);
+    mach.bump("tcp.segmentsOut");
+
+    NetBuf frame;
+    if (len)
+        frame.append(payload, len);
+
+    TcpHeader tcp;
+    tcp.srcPort = sock.lPort;
+    tcp.dstPort = sock.rPort;
+    tcp.seq = seq;
+    tcp.ack = sock.rcvNxt;
+    tcp.flags = flags;
+    tcp.window = sock.advertisedWindow();
+    std::uint8_t *tcpAt = frame.push(TcpHeader::wireSize);
+    tcp.serialize(tcpAt, ipAddr, sock.rIp, tcpAt + TcpHeader::wireSize,
+                  len);
+
+    Ip4Header ip;
+    ip.totalLen = static_cast<std::uint16_t>(Ip4Header::wireSize +
+                                             TcpHeader::wireSize + len);
+    ip.protocol = Ip4Header::protoTcp;
+    ip.src = ipAddr;
+    ip.dst = sock.rIp;
+    ip.serialize(frame.push(Ip4Header::wireSize));
+
+    EthHeader eth{};
+    eth.etherType = EthHeader::typeIp4;
+    eth.serialize(frame.push(EthHeader::wireSize));
+
+    nic.transmit(std::move(frame));
+}
+
+void
+NetStack::handleFrame(NetBuf frame)
+{
+    EthHeader eth;
+    if (frame.size() < EthHeader::wireSize)
+        return;
+    eth.parse(frame.data());
+    if (eth.etherType != EthHeader::typeIp4)
+        return;
+    frame.pull(EthHeader::wireSize);
+
+    Ip4Header ip;
+    if (!ip.parse(frame.data(), frame.size())) {
+        mach.bump("ip.badHeader");
+        return;
+    }
+    if (ip.dst != ipAddr) {
+        mach.bump("ip.notMine");
+        return;
+    }
+    if (ip.protocol != Ip4Header::protoTcp)
+        return;
+    frame.pull(Ip4Header::wireSize);
+    std::size_t segLen = ip.totalLen - Ip4Header::wireSize;
+    if (segLen > frame.size()) {
+        mach.bump("ip.truncated");
+        return;
+    }
+
+    TcpHeader tcp;
+    if (!tcp.parse(frame.data(), segLen, ip.src, ip.dst)) {
+        mach.bump("tcp.badChecksum");
+        return;
+    }
+    const std::uint8_t *payload = frame.data() + TcpHeader::wireSize;
+    std::size_t payloadLen = segLen - TcpHeader::wireSize;
+
+    // Exact flow match first.
+    auto it = flows.find(FlowKey{tcp.dstPort, ip.src, tcp.srcPort});
+    if (it != flows.end()) {
+        it->second->handleSegment(tcp, payload, payloadLen);
+        return;
+    }
+
+    // New connection to a listener?
+    auto lit = listeners.find(tcp.dstPort);
+    if (lit != listeners.end() && (tcp.flags & tcpSyn) &&
+        !(tcp.flags & tcpAck)) {
+        TcpSocket *child = makeSocket();
+        child->lPort = tcp.dstPort;
+        child->rIp = ip.src;
+        child->rPort = tcp.srcPort;
+        child->parent = lit->second;
+        child->iss = pickIss();
+        child->sndUna = child->iss;
+        child->sndNxt = child->iss + 1;
+        child->rcvNxt = tcp.seq + 1;
+        child->peerWindow = tcp.window;
+        child->synInFlight = true;
+        child->st = TcpSocket::State::SynRcvd;
+        registerFlow(child);
+        sendSegment(*child, tcpSyn | tcpAck, child->iss, nullptr, 0);
+        child->armRetransmit();
+        return;
+    }
+
+    mach.bump("tcp.noMatch");
+}
+
+bool
+NetStack::pollOnce()
+{
+    bool worked = false;
+    mach.consume(mach.timing.pollDispatch);
+    while (auto f = nic.receive()) {
+        handleFrame(std::move(*f));
+        worked = true;
+    }
+    if (timers.poll() > 0)
+        worked = true;
+    return worked;
+}
+
+void
+NetStack::startPoller(const std::string &name)
+{
+    stopping = false;
+    sched.spawn(name, [this] {
+        while (!stopping) {
+            pollOnce();
+            sched.yield();
+        }
+    });
+}
+
+} // namespace flexos

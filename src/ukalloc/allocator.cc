@@ -1,0 +1,17 @@
+#include "ukalloc/allocator.hh"
+
+#include "machine/machine.hh"
+
+namespace flexos {
+
+void
+Allocator::charge(std::uint64_t steps)
+{
+    stats_.steps += steps;
+    if (Machine::hasCurrent()) {
+        auto &m = Machine::current();
+        m.consume(m.timing.allocBase + steps * m.timing.allocStep);
+    }
+}
+
+} // namespace flexos

@@ -1,0 +1,343 @@
+#include "uksched/scheduler.hh"
+
+#include <exception>
+
+#include "base/logging.hh"
+
+namespace flexos {
+
+namespace {
+
+/** Scheduler whose thread is currently starting (single host thread). */
+Scheduler *activeScheduler = nullptr;
+
+} // namespace
+
+Thread::Thread(int id, std::string name, Entry entry,
+               std::size_t stackBytes)
+    : id_(id), name_(std::move(name)), entry(std::move(entry)),
+      stack(stackBytes)
+{
+}
+
+Scheduler::Scheduler(Machine &m) : mach(m)
+{
+}
+
+Scheduler::~Scheduler() = default;
+
+Thread *
+Scheduler::spawn(std::string name, Thread::Entry entry,
+                 std::size_t stackBytes)
+{
+    auto t = std::unique_ptr<Thread>(
+        new Thread(nextId++, std::move(name), std::move(entry),
+                   stackBytes));
+    Thread *raw = t.get();
+    threads.push_back(std::move(t));
+
+    getcontext(&raw->ctx);
+    raw->ctx.uc_stack.ss_sp = raw->stack.data();
+    raw->ctx.uc_stack.ss_size = raw->stack.size();
+    raw->ctx.uc_link = nullptr;
+    makecontext(&raw->ctx, &Scheduler::trampoline, 0);
+
+    // Backend hook: e.g. the MPK backend assigns the thread its initial
+    // protection domain and builds its per-compartment stack registry.
+    if (onThreadCreate)
+        onThreadCreate(*raw);
+
+    runQueue.push_back(raw);
+    return raw;
+}
+
+void
+Scheduler::trampoline()
+{
+    panic_if(!activeScheduler, "thread started without a scheduler");
+    activeScheduler->threadMain();
+}
+
+void
+Scheduler::threadMain()
+{
+    Thread *self = running;
+    try {
+        self->entry();
+    } catch (const std::exception &e) {
+        self->error_ = e.what();
+    } catch (...) {
+        self->error_ = "unknown exception";
+    }
+    self->state_ = Thread::State::Finished;
+    for (Thread *j : self->joiners)
+        wake(j);
+    self->joiners.clear();
+    swapcontext(&self->ctx, &schedCtx);
+    panic("resumed a finished thread");
+}
+
+void
+Scheduler::switchTo(Thread *t)
+{
+    Thread *prev = running;
+    running = t;
+    t->state_ = Thread::State::Running;
+    ++switchCount;
+    if (!t->freeRunning)
+        mach.consume(mach.timing.contextSwitch);
+    mach.chargingEnabled = !t->freeRunning;
+
+    // Install the incoming thread's protection domain and hardening
+    // multiplier, then give the backend hook a chance to extend the
+    // switch (stack registry etc.).
+    mach.pkru = t->pkru;
+    mach.workMultiplier = t->workMult;
+    if (onSwitch)
+        onSwitch(prev, t);
+
+    Scheduler *prevActive = activeScheduler;
+    activeScheduler = this;
+    swapcontext(&schedCtx, &t->ctx);
+    activeScheduler = prevActive;
+
+    // Back in the scheduler (TCB): run unrestricted and charged. This
+    // also covers threads that returned without passing switchOut().
+    mach.pkru = Pkru(Pkru::allowAllValue);
+    mach.chargingEnabled = true;
+    mach.workMultiplier = 1.0;
+}
+
+void
+Scheduler::switchOut()
+{
+    Thread *self = running;
+    panic_if(!self, "switchOut outside a thread");
+    // Save the thread's protection-domain state; the scheduler itself
+    // runs with an unrestricted PKRU (it is TCB).
+    self->pkru = mach.pkru;
+    self->workMult = mach.workMultiplier;
+    running = nullptr;
+    mach.pkru = Pkru(Pkru::allowAllValue);
+    mach.chargingEnabled = true;
+    mach.workMultiplier = 1.0;
+    swapcontext(&self->ctx, &schedCtx);
+}
+
+bool
+Scheduler::serviceSleepers(bool mayAdvanceClock)
+{
+    bool woke = false;
+    while (!sleepers.empty()) {
+        Thread *t = sleepers.top();
+        if (t->wakeAtCycles <= mach.cycles()) {
+            sleepers.pop();
+            if (t->state_ == Thread::State::Sleeping) {
+                t->state_ = Thread::State::Ready;
+                runQueue.push_back(t);
+            }
+            woke = true;
+            continue;
+        }
+        if (mayAdvanceClock && runQueue.empty()) {
+            // Event-driven idle: jump the clock to the next wakeup.
+            mach.consume(t->wakeAtCycles - mach.cycles());
+            mach.bump("sched.idleJumps");
+            continue;
+        }
+        break;
+    }
+    return woke;
+}
+
+bool
+Scheduler::run()
+{
+    while (true) {
+        serviceSleepers(true);
+        if (runQueue.empty())
+            break;
+        Thread *t = runQueue.front();
+        runQueue.pop_front();
+        if (t->state_ != Thread::State::Ready)
+            continue;
+        switchTo(t);
+    }
+
+    for (const auto &t : threads) {
+        if (t->state_ != Thread::State::Finished)
+            return false; // blocked threads remain: deadlock
+    }
+    return true;
+}
+
+bool
+Scheduler::runUntil(const std::function<bool()> &pred,
+                    std::uint64_t maxSwitches)
+{
+    std::uint64_t budget = maxSwitches;
+    while (!pred()) {
+        if (budget-- == 0)
+            return false;
+        serviceSleepers(true);
+        if (runQueue.empty())
+            return false;
+        Thread *t = runQueue.front();
+        runQueue.pop_front();
+        if (t->state_ != Thread::State::Ready)
+            continue;
+        switchTo(t);
+    }
+    return true;
+}
+
+void
+Scheduler::yield()
+{
+    Thread *self = running;
+    panic_if(!self, "yield outside a thread");
+    self->state_ = Thread::State::Ready;
+    runQueue.push_back(self);
+    switchOut();
+}
+
+void
+Scheduler::block(WaitQueue &q)
+{
+    Thread *self = running;
+    panic_if(!self, "block outside a thread");
+    self->state_ = Thread::State::Blocked;
+    q.waiters.push_back(self);
+    switchOut();
+}
+
+void
+Scheduler::sleepNs(std::uint64_t ns)
+{
+    Thread *self = running;
+    panic_if(!self, "sleep outside a thread");
+    self->state_ = Thread::State::Sleeping;
+    self->wakeAtCycles =
+        mach.cycles() +
+        static_cast<std::uint64_t>(static_cast<double>(ns) *
+                                   mach.timing.cpuGhz);
+    sleepers.push(self);
+    switchOut();
+}
+
+void
+Scheduler::join(Thread *t)
+{
+    Thread *self = running;
+    panic_if(!self, "join outside a thread");
+    panic_if(t == self, "thread joining itself");
+    if (t->state_ == Thread::State::Finished)
+        return;
+    t->joiners.push_back(self);
+    self->state_ = Thread::State::Blocked;
+    switchOut();
+}
+
+void
+Scheduler::wake(Thread *t)
+{
+    if (t->state_ != Thread::State::Blocked)
+        return;
+    t->state_ = Thread::State::Ready;
+    runQueue.push_back(t);
+}
+
+bool
+Scheduler::hasLiveThreads() const
+{
+    for (const auto &t : threads) {
+        if (t->state_ != Thread::State::Finished)
+            return true;
+    }
+    return false;
+}
+
+Thread *
+WaitQueue::wakeOne()
+{
+    while (!waiters.empty()) {
+        Thread *t = waiters.front();
+        waiters.pop_front();
+        if (t->state() == Thread::State::Blocked) {
+            sched.wake(t);
+            return t;
+        }
+    }
+    return nullptr;
+}
+
+std::size_t
+WaitQueue::wakeAll()
+{
+    std::size_t n = 0;
+    while (wakeOne())
+        ++n;
+    return n;
+}
+
+void
+Mutex::lock()
+{
+    Thread *self = sched.current();
+    panic_if(!self, "Mutex::lock outside a thread");
+    panic_if(owner == self, "recursive Mutex::lock");
+    while (owner)
+        waiters.wait();
+    owner = self;
+}
+
+void
+Mutex::unlock()
+{
+    panic_if(owner != sched.current(), "unlock by non-owner");
+    owner = nullptr;
+    waiters.wakeOne();
+}
+
+bool
+Mutex::tryLock()
+{
+    Thread *self = sched.current();
+    panic_if(!self, "Mutex::tryLock outside a thread");
+    if (owner)
+        return false;
+    owner = self;
+    return true;
+}
+
+bool
+Mutex::heldByCaller() const
+{
+    return owner && owner == sched.current();
+}
+
+void
+Semaphore::post()
+{
+    ++count;
+    waiters.wakeOne();
+}
+
+void
+Semaphore::wait()
+{
+    while (count == 0)
+        waiters.wait();
+    --count;
+}
+
+bool
+Semaphore::tryWait()
+{
+    if (count == 0)
+        return false;
+    --count;
+    return true;
+}
+
+} // namespace flexos

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * uksched: the cooperative scheduler micro-library.
+ *
+ * All simulated concurrency (application threads, EPT RPC server pools,
+ * network pollers) runs as ucontext fibers multiplexed on the single host
+ * thread, round-robin, switching only at explicit yield/block points.
+ * This makes every run deterministic and lets the virtual clock be exact.
+ *
+ * The scheduler is part of FlexOS' trusted computing base (paper 3.3) and
+ * exposes the backend hook API of paper 3.2: isolation backends register
+ * thread-creation and context-switch hooks (e.g. the MPK backend swaps
+ * the PKRU register and the per-compartment stack registry on switch).
+ */
+
+#ifndef FLEXOS_UKSCHED_SCHEDULER_HH
+#define FLEXOS_UKSCHED_SCHEDULER_HH
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+
+namespace flexos {
+
+class Scheduler;
+class WaitQueue;
+
+/**
+ * A cooperative thread (fiber).
+ */
+class Thread
+{
+  public:
+    using Entry = std::function<void()>;
+
+    enum class State { Ready, Running, Blocked, Sleeping, Finished };
+
+    int id() const { return id_; }
+    const std::string &name() const { return name_; }
+    State state() const { return state_; }
+
+    /** Error text if the thread terminated with an exception. */
+    const std::string &error() const { return error_; }
+    bool failed() const { return !error_.empty(); }
+
+    /** Saved protection-key register (swapped by the MPK switch hook). */
+    Pkru pkru;
+
+    /**
+     * Compartment the thread is currently executing in; maintained by
+     * call gates. Compartment 0 is the default compartment.
+     */
+    int currentCompartment = 0;
+
+    /** Saved hardening work multiplier (swapped on context switch). */
+    double workMult = 1.0;
+
+    /** Opaque per-thread backend state (e.g. MPK stack registry). */
+    std::shared_ptr<void> backendData;
+
+    /**
+     * Free-running threads execute without charging virtual cycles;
+     * used for client-side load generators (the paper pins clients to
+     * dedicated host cores that never bottleneck the measurement).
+     */
+    bool freeRunning = false;
+
+  private:
+    friend class Scheduler;
+
+    Thread(int id, std::string name, Entry entry, std::size_t stackBytes);
+
+    int id_;
+    std::string name_;
+    State state_ = State::Ready;
+    std::string error_;
+    Entry entry;
+    ucontext_t ctx;
+    std::vector<char> stack;
+    std::uint64_t wakeAtCycles = 0;
+    std::vector<Thread *> joiners;
+};
+
+/**
+ * Cooperative round-robin scheduler over a Machine's virtual clock.
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(Machine &m);
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** @name Backend hook API (paper 3.2). @{ */
+    /** Called after a thread object is created, before it first runs. */
+    std::function<void(Thread &)> onThreadCreate;
+    /** Called on every switch; prev may be null (scheduler entry). */
+    std::function<void(Thread *prev, Thread *next)> onSwitch;
+    /** @} */
+
+    /** Create a thread; it becomes runnable immediately. */
+    Thread *spawn(std::string name, Thread::Entry entry,
+                  std::size_t stackBytes = 256 * 1024);
+
+    /**
+     * Run until no thread is Ready or Sleeping.
+     * @return true if every thread finished; false if only Blocked
+     *         threads remain (deadlock — the caller decides what to do).
+     */
+    bool run();
+
+    /**
+     * Run until pred() holds, checked after every thread switch-out.
+     * @return true if the predicate was met, false if execution dried up.
+     */
+    bool runUntil(const std::function<bool()> &pred,
+                  std::uint64_t maxSwitches = 50'000'000);
+
+    /** @name Calls made from inside threads. @{ */
+    /** Cooperatively give up the CPU (stay runnable). */
+    void yield();
+    /** Block the calling thread on a wait queue. */
+    void block(WaitQueue &q);
+    /** Sleep the calling thread for ns virtual nanoseconds. */
+    void sleepNs(std::uint64_t ns);
+    /** Wait for another thread to finish. */
+    void join(Thread *t);
+    /** @} */
+
+    /** Make a blocked thread runnable. */
+    void wake(Thread *t);
+
+    /** The thread currently executing, or null in the scheduler itself. */
+    Thread *current() { return running; }
+
+    /** The machine this scheduler drives. */
+    Machine &machine() { return mach; }
+
+    /** Number of context switches performed. */
+    std::uint64_t switches() const { return switchCount; }
+
+    /** Threads that have been spawned and not yet destroyed. */
+    std::size_t threadCount() const { return threads.size(); }
+
+    /** True if any non-finished thread exists. */
+    bool hasLiveThreads() const;
+
+  private:
+    friend class WaitQueue;
+
+    void switchTo(Thread *t);
+    void switchOut();
+    void threadMain();
+    static void trampoline();
+
+    /** Move due sleepers to the run queue; advance the clock if idle. */
+    bool serviceSleepers(bool mayAdvanceClock);
+
+    Machine &mach;
+    std::vector<std::unique_ptr<Thread>> threads;
+    std::deque<Thread *> runQueue;
+
+    struct SleeperOrder
+    {
+        bool
+        operator()(const Thread *a, const Thread *b) const
+        {
+            return a->wakeAtCycles > b->wakeAtCycles;
+        }
+    };
+    std::priority_queue<Thread *, std::vector<Thread *>, SleeperOrder>
+        sleepers;
+
+    Thread *running = nullptr;
+    ucontext_t schedCtx;
+    int nextId = 1;
+    std::uint64_t switchCount = 0;
+};
+
+/**
+ * A queue of blocked threads (the primitive under mutexes, semaphores,
+ * socket waits and RPC rings).
+ */
+class WaitQueue
+{
+  public:
+    explicit WaitQueue(Scheduler &s) : sched(s) {}
+
+    /** Block the calling thread until woken. */
+    void wait() { sched.block(*this); }
+
+    /** Wake the longest-waiting thread, if any. @return woken thread */
+    Thread *wakeOne();
+
+    /** Wake everyone. @return number woken */
+    std::size_t wakeAll();
+
+    bool empty() const { return waiters.empty(); }
+    std::size_t size() const { return waiters.size(); }
+
+  private:
+    friend class Scheduler;
+
+    Scheduler &sched;
+    std::deque<Thread *> waiters;
+};
+
+/** Cooperative mutex. */
+class Mutex
+{
+  public:
+    explicit Mutex(Scheduler &s) : sched(s), waiters(s) {}
+
+    void lock();
+    void unlock();
+    bool tryLock();
+    bool heldByCaller() const;
+
+  private:
+    Scheduler &sched;
+    Thread *owner = nullptr;
+    WaitQueue waiters;
+};
+
+/** RAII lock guard for Mutex. */
+class LockGuard
+{
+  public:
+    explicit LockGuard(Mutex &m) : mtx(m) { mtx.lock(); }
+    ~LockGuard() { mtx.unlock(); }
+
+    LockGuard(const LockGuard &) = delete;
+    LockGuard &operator=(const LockGuard &) = delete;
+
+  private:
+    Mutex &mtx;
+};
+
+/** Counting semaphore. */
+class Semaphore
+{
+  public:
+    Semaphore(Scheduler &s, unsigned initial = 0)
+        : sched(s), waiters(s), count(initial)
+    {
+    }
+
+    void post();
+    void wait();
+    bool tryWait();
+    unsigned value() const { return count; }
+
+  private:
+    Scheduler &sched;
+    WaitQueue waiters;
+    unsigned count;
+};
+
+} // namespace flexos
+
+#endif // FLEXOS_UKSCHED_SCHEDULER_HH

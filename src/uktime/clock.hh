@@ -1,0 +1,135 @@
+/**
+ * @file
+ * uktime: the time micro-library (virtual clock + timer queue).
+ *
+ * One of the components compartmentalized in the paper's SQLite
+ * experiment (Figure 10, MPK3/PT3 isolate the time subsystem). It shares
+ * no data with the outside world (Table 1: 0 shared variables), which is
+ * why its port took 10 minutes in the paper.
+ */
+
+#ifndef FLEXOS_UKTIME_CLOCK_HH
+#define FLEXOS_UKTIME_CLOCK_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "machine/machine.hh"
+
+namespace flexos {
+
+/**
+ * Virtual wall clock over the machine cycle counter.
+ */
+class Clock
+{
+  public:
+    explicit Clock(Machine &m) : mach(m) {}
+
+    /** Monotonic nanoseconds since machine start. */
+    std::uint64_t
+    monotonicNs() const
+    {
+        return mach.nanoseconds();
+    }
+
+    /** Monotonic microseconds. */
+    std::uint64_t monotonicUs() const { return monotonicNs() / 1000; }
+
+    /** Seconds as a double (for reports). */
+    double seconds() const { return mach.seconds(); }
+
+  private:
+    Machine &mach;
+};
+
+/**
+ * Deadline-ordered timer queue; polled by whoever owns it (the network
+ * stack polls it on every loop iteration for TCP retransmissions).
+ */
+class TimerQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    explicit TimerQueue(Machine &m) : mach(m) {}
+
+    /** Arm a timer; returns an id usable with cancel(). */
+    std::uint64_t
+    arm(std::uint64_t delayNs, Callback cb)
+    {
+        std::uint64_t id = nextId++;
+        pending.push(Entry{mach.nanoseconds() + delayNs, id,
+                           std::move(cb)});
+        return id;
+    }
+
+    /** Cancel a timer by id (no-op if already fired). */
+    void cancel(std::uint64_t id) { cancelled.push_back(id); }
+
+    /** Fire every timer whose deadline has passed. @return fired count */
+    std::size_t
+    poll()
+    {
+        std::size_t fired = 0;
+        while (!pending.empty() &&
+               pending.top().deadlineNs <= mach.nanoseconds()) {
+            Entry e = pending.top();
+            pending.pop();
+            if (isCancelled(e.id))
+                continue;
+            e.cb();
+            ++fired;
+        }
+        return fired;
+    }
+
+    /** Nanoseconds until the next live deadline, or UINT64_MAX. */
+    std::uint64_t
+    nextDeadlineNs() const
+    {
+        return pending.empty() ? UINT64_MAX : pending.top().deadlineNs;
+    }
+
+    bool empty() const { return pending.empty(); }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t deadlineNs;
+        std::uint64_t id;
+        Callback cb;
+    };
+
+    struct Order
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            return a.deadlineNs > b.deadlineNs;
+        }
+    };
+
+    bool
+    isCancelled(std::uint64_t id)
+    {
+        for (auto it = cancelled.begin(); it != cancelled.end(); ++it) {
+            if (*it == id) {
+                cancelled.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    Machine &mach;
+    std::priority_queue<Entry, std::vector<Entry>, Order> pending;
+    std::vector<std::uint64_t> cancelled;
+    std::uint64_t nextId = 1;
+};
+
+} // namespace flexos
+
+#endif // FLEXOS_UKTIME_CLOCK_HH

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for partial safety ordering: order axioms, refinement,
+ * Hasse-diagram construction, budget pruning, monotone exploration
+ * savings, and the Figure 6/8 sweep space.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/rng.hh"
+#include "core/toolchain.hh"
+#include "explore/poset.hh"
+#include "explore/wayfinder.hh"
+
+namespace flexos {
+namespace {
+
+ConfigPoint
+mk(std::vector<int> part, std::vector<unsigned> hard, int mech = 1,
+   int share = 1)
+{
+    ConfigPoint p;
+    p.partition = std::move(part);
+    p.hardening = std::move(hard);
+    p.mechanismRank = mech;
+    p.sharingRank = share;
+    return p;
+}
+
+TEST(Refines, BasicCases)
+{
+    EXPECT_TRUE(refines({0, 1, 2}, {0, 0, 0}));  // finer refines coarser
+    EXPECT_FALSE(refines({0, 0, 0}, {0, 1, 2}));
+    EXPECT_TRUE(refines({0, 1, 0}, {0, 1, 0}));  // reflexive
+    EXPECT_TRUE(refines({0, 1, 1}, {0, 1, 1}));
+    EXPECT_FALSE(refines({0, 0, 1}, {0, 1, 0})); // crosswise
+}
+
+TEST(CompareSafety, PaperC1C2C3Chain)
+{
+    // Paper section 5: C1 no isolation/no hardening <= C2 two
+    // compartments <= C3 adding CFI on top.
+    ConfigPoint c1 = mk({0, 0}, {0, 0});
+    ConfigPoint c2 = mk({0, 1}, {0, 0});
+    ConfigPoint c3 = mk({0, 1}, {1, 1});
+    EXPECT_EQ(compareSafety(c1, c2), SafetyOrder::Less);
+    EXPECT_EQ(compareSafety(c2, c3), SafetyOrder::Less);
+    EXPECT_EQ(compareSafety(c1, c3), SafetyOrder::Less);
+    EXPECT_EQ(compareSafety(c3, c1), SafetyOrder::Greater);
+}
+
+TEST(CompareSafety, IncomparableDimensions)
+{
+    // More compartments vs. more hardening: not comparable.
+    ConfigPoint a = mk({0, 1}, {0, 0});
+    ConfigPoint b = mk({0, 0}, {1, 1});
+    EXPECT_EQ(compareSafety(a, b), SafetyOrder::Incomparable);
+
+    // Hardening on different components: not comparable.
+    ConfigPoint c = mk({0, 0}, {1, 0});
+    ConfigPoint d = mk({0, 0}, {0, 1});
+    EXPECT_EQ(compareSafety(c, d), SafetyOrder::Incomparable);
+}
+
+TEST(CompareSafety, MechanismAndSharingRank)
+{
+    ConfigPoint mpk = mk({0, 1}, {0, 0}, 1, 1);
+    ConfigPoint ept = mk({0, 1}, {0, 0}, 2, 1);
+    EXPECT_EQ(compareSafety(mpk, ept), SafetyOrder::Less);
+
+    ConfigPoint sharedStack = mk({0, 1}, {0, 0}, 1, 0);
+    EXPECT_EQ(compareSafety(sharedStack, mpk), SafetyOrder::Less);
+}
+
+TEST(CompareSafety, EqualAndReflexive)
+{
+    ConfigPoint a = mk({0, 1}, {1, 0});
+    EXPECT_EQ(compareSafety(a, a), SafetyOrder::Equal);
+}
+
+/** Property: antisymmetry and transitivity over random samples. */
+TEST(CompareSafety, OrderAxiomsHoldOnRandomSamples)
+{
+    Rng rng(17);
+    std::vector<ConfigPoint> pts;
+    for (int i = 0; i < 40; ++i) {
+        std::vector<int> part(4);
+        for (int &b : part)
+            b = static_cast<int>(rng.below(3));
+        std::vector<unsigned> hard(4);
+        for (unsigned &h : hard)
+            h = static_cast<unsigned>(rng.below(4));
+        pts.push_back(mk(part, hard, static_cast<int>(rng.below(3)),
+                         static_cast<int>(rng.below(2))));
+    }
+
+    for (const auto &a : pts) {
+        for (const auto &b : pts) {
+            SafetyOrder ab = compareSafety(a, b);
+            SafetyOrder ba = compareSafety(b, a);
+            // Antisymmetry.
+            if (ab == SafetyOrder::Less)
+                EXPECT_EQ(ba, SafetyOrder::Greater);
+            if (ab == SafetyOrder::Equal)
+                EXPECT_EQ(ba, SafetyOrder::Equal);
+            // Transitivity.
+            for (const auto &c : pts) {
+                if (ab == SafetyOrder::Less &&
+                    compareSafety(b, c) == SafetyOrder::Less)
+                    EXPECT_EQ(compareSafety(a, c), SafetyOrder::Less);
+            }
+        }
+    }
+}
+
+TEST(Poset, HasseEdgesSkipTransitive)
+{
+    SafetyPoset poset;
+    std::size_t c1 = poset.add(mk({0, 0}, {0, 0}));
+    std::size_t c2 = poset.add(mk({0, 1}, {0, 0}));
+    std::size_t c3 = poset.add(mk({0, 1}, {1, 1}));
+    poset.buildEdges();
+    // c1 -> c2 -> c3 but no direct c1 -> c3 edge.
+    EXPECT_EQ(poset.coversOf(c1), std::vector<std::size_t>{c2});
+    EXPECT_EQ(poset.coversOf(c2), std::vector<std::size_t>{c3});
+    EXPECT_TRUE(poset.coversOf(c3).empty());
+}
+
+TEST(Poset, SafestWithinBudgetPicksMaximal)
+{
+    SafetyPoset poset;
+    std::size_t fast = poset.add(mk({0, 0}, {0, 0}));
+    std::size_t mid = poset.add(mk({0, 1}, {0, 0}));
+    std::size_t safe = poset.add(mk({0, 1}, {1, 1}));
+    std::size_t side = poset.add(mk({0, 0}, {1, 1}));
+    poset.at(fast).perf = 100;
+    poset.at(mid).perf = 70;
+    poset.at(safe).perf = 30; // misses the budget below
+    poset.at(side).perf = 60;
+    poset.buildEdges();
+
+    std::vector<std::size_t> best = poset.safestWithin(50);
+    std::set<std::size_t> bestSet(best.begin(), best.end());
+    // 'safe' misses the budget; 'mid' and 'side' are maximal among the
+    // remaining; 'fast' is dominated by 'mid'.
+    EXPECT_EQ(bestSet, (std::set<std::size_t>{mid, side}));
+}
+
+TEST(Poset, ExploreSkipsDominatedEvaluations)
+{
+    // A chain of increasing safety with monotonically decreasing
+    // performance: exploration must stop evaluating past the first
+    // node under budget.
+    SafetyPoset poset;
+    for (unsigned h = 0; h <= 3; ++h) {
+        std::vector<unsigned> hard(2);
+        hard[0] = h >= 1 ? 1 : 0;
+        hard[1] = h >= 2 ? 1 : 0;
+        ConfigPoint p = mk({0, 1}, hard, 1, 1);
+        if (h == 3)
+            p.mechanismRank = 2;
+        poset.add(p);
+    }
+    poset.buildEdges();
+
+    int evals = 0;
+    std::size_t ran = poset.explore(
+        [&](ConfigPoint &p) {
+            ++evals;
+            // Perf drops sharply with each hardening step.
+            double perf = 100;
+            for (unsigned h : p.hardening)
+                perf -= h * 45;
+            return perf;
+        },
+        40);
+    EXPECT_LT(ran, poset.size()); // pruning saved evaluations
+    EXPECT_EQ(static_cast<std::size_t>(evals), ran);
+}
+
+TEST(Poset, DotOutputMarksWinners)
+{
+    SafetyPoset poset;
+    poset.add(mk({0, 0}, {0, 0}));
+    poset.add(mk({0, 1}, {0, 0}));
+    poset.at(0).perf = 90;
+    poset.at(0).label = "A";
+    poset.at(1).perf = 80;
+    poset.at(1).label = "B";
+    poset.buildEdges();
+    std::string dot = poset.toDot(50);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("shape=star"), std::string::npos);
+    EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+// ------------------------------------------------------------ wayfinder
+
+TEST(Wayfinder, SpaceHas80DistinctConfigurations)
+{
+    auto space = wayfinder::fig6Space();
+    EXPECT_EQ(space.size(), 80u);
+    std::set<std::string> seen;
+    for (const auto &p : space) {
+        std::string key;
+        for (int b : p.partition)
+            key += std::to_string(b);
+        for (unsigned h : p.hardening)
+            key += std::to_string(h);
+        seen.insert(key);
+    }
+    EXPECT_EQ(seen.size(), 80u);
+}
+
+TEST(Wayfinder, PartitionsMatchFigure8Strategies)
+{
+    const auto &parts = wayfinder::fig6Partitions();
+    ASSERT_EQ(parts.size(), 5u);
+    std::multiset<int> counts;
+    for (const auto &p : parts) {
+        ConfigPoint cp;
+        cp.partition = p;
+        counts.insert(cp.compartments());
+    }
+    EXPECT_EQ(counts, (std::multiset<int>{1, 2, 2, 2, 3}));
+}
+
+TEST(Wayfinder, ConfigsValidateAndBuild)
+{
+    auto space = wayfinder::fig6Space();
+    // Spot-check a handful of corners: the all-in-one, the 3-comp with
+    // full hardening, and one asymmetric point.
+    for (std::size_t idx : {0ul, 79ul, 37ul}) {
+        SafetyConfig cfg =
+            wayfinder::toSafetyConfig(space[idx], "libredis");
+        LibraryRegistry reg = LibraryRegistry::standard();
+        Toolchain tc(reg);
+        EXPECT_NO_THROW(tc.validate(cfg)) << idx;
+    }
+}
+
+TEST(Wayfinder, MeasuredThroughputOrdersSanely)
+{
+    auto space = wayfinder::fig6Space();
+    // Config 0: no isolation, no hardening = fastest corner.
+    double fastest = wayfinder::measureRedis(space[0], 200);
+    // Config 79: 3 compartments, everything hardened = slow corner.
+    double slowest = wayfinder::measureRedis(space[79], 200);
+    EXPECT_GT(fastest, slowest * 1.5);
+}
+
+TEST(Wayfinder, LabelsRenderPartitionAndHardening)
+{
+    auto space = wayfinder::fig6Space();
+    std::string label = wayfinder::pointLabel(space[79], "libredis");
+    EXPECT_NE(label.find("/"), std::string::npos);
+    EXPECT_NE(label.find("●"), std::string::npos);
+}
+
+} // namespace
+} // namespace flexos

