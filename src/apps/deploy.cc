@@ -70,6 +70,11 @@ Deployment::init(SafetyConfig cfg, const DeployOptions &opts)
 Deployment::~Deployment()
 {
     stop();
+    // Unwind any still-blocked fibers while the whole world (image,
+    // network stacks, backends) is alive: their locals may hold
+    // DSS frames and gate state whose destructors touch it.
+    if (sched)
+        sched->cancelAll();
     // Teardown order matters: the filesystem returns its blocks to the
     // vfscore compartment's allocator, so it must die before the image;
     // the image (backend threads, regions) before scheduler and scope.

@@ -1,5 +1,6 @@
 #include "apps/iperf.hh"
 
+#include <string>
 #include <vector>
 
 #include "base/logging.hh"
@@ -7,56 +8,74 @@
 namespace flexos {
 
 IperfResult
-runIperf(Image &img, LibcApi &serverLibc, NetStack &clientStack,
-         std::uint64_t totalBytes, std::size_t recvBufSize,
-         std::uint16_t port)
+runIperfMulti(Image &img, LibcApi &serverLibc, NetStack &clientStack,
+              std::uint64_t bytesPerFlow, std::size_t recvBufSize,
+              unsigned flows, std::uint16_t port)
 {
+    panic_if(flows == 0, "iperf needs at least one flow");
     Scheduler &sched = img.scheduler();
     Machine &mach = img.machine();
 
     std::uint64_t received = 0;
-    bool serverDone = false;
+    unsigned flowsDone = 0;
     Cycles startCycles = 0;
     bool firstByte = true;
 
-    img.spawnIn("libiperf", "iperf-server", [&] {
+    // Server: accept loop + one worker fiber per connection, all in
+    // libiperf's compartment.
+    img.spawnIn("libiperf", "iperf-accept", [&, flows] {
         TcpSocket *listener = serverLibc.listen(port);
-        TcpSocket *conn = serverLibc.accept(listener);
-        std::vector<char> buf(recvBufSize);
-        long n;
-        while ((n = serverLibc.recv(conn, buf.data(), buf.size())) > 0) {
-            if (firstByte) {
-                startCycles = mach.cycles();
-                firstByte = false;
-            }
-            received += static_cast<std::uint64_t>(n);
+        for (unsigned i = 0; i < flows; ++i) {
+            TcpSocket *conn = serverLibc.accept(listener);
+            img.spawnIn("libiperf",
+                        "iperf-server-" + std::to_string(i),
+                        [&, conn] {
+                            std::vector<char> buf(recvBufSize);
+                            long n;
+                            while ((n = serverLibc.recv(conn, buf.data(),
+                                                        buf.size())) > 0) {
+                                if (firstByte) {
+                                    startCycles = mach.cycles();
+                                    firstByte = false;
+                                }
+                                received +=
+                                    static_cast<std::uint64_t>(n);
+                            }
+                            serverLibc.closeSocket(conn);
+                            ++flowsDone;
+                        });
         }
-        serverLibc.closeSocket(conn);
-        serverDone = true;
     });
 
-    Thread *client = sched.spawn("iperf-client", [&] {
-        TcpSocket *s =
-            clientStack.connect(serverLibc.netstack()->ip(), port);
-        panic_if(!s, "iperf client could not connect");
-        std::vector<char> chunk(16 * 1024, 'D');
-        std::uint64_t sent = 0;
-        while (sent < totalBytes) {
-            std::size_t n = std::min<std::uint64_t>(chunk.size(),
-                                                    totalBytes - sent);
-            if (s->send(chunk.data(), n) < 0)
-                break;
-            sent += n;
-        }
-        s->close();
-    });
-    client->freeRunning = true;
+    // Clients: one free-running pump per flow (the paper's client
+    // machines do not count towards server-side time).
+    for (unsigned i = 0; i < flows; ++i) {
+        Thread *client = sched.spawn(
+            "iperf-client-" + std::to_string(i), [&, bytesPerFlow] {
+                TcpSocket *s = clientStack.connect(
+                    serverLibc.netstack()->ip(), port);
+                panic_if(!s, "iperf client could not connect");
+                std::vector<char> chunk(16 * 1024, 'D');
+                std::uint64_t sent = 0;
+                while (sent < bytesPerFlow) {
+                    std::size_t n = std::min<std::uint64_t>(
+                        chunk.size(), bytesPerFlow - sent);
+                    if (s->send(chunk.data(), n) < 0)
+                        break;
+                    sent += n;
+                }
+                s->close();
+            });
+        client->freeRunning = true;
+    }
 
-    bool ok = sched.runUntil([&] { return serverDone; }, 200'000'000);
+    bool ok = sched.runUntil([&] { return flowsDone == flows; },
+                             500'000'000);
     panic_if(!ok, "iperf did not complete");
 
     IperfResult res;
     res.bytes = received;
+    res.flows = flows;
     res.seconds = static_cast<double>(mach.cycles() - startCycles) /
                   (mach.timing.cpuGhz * 1e9);
     res.gbitPerSec =
@@ -64,6 +83,15 @@ runIperf(Image &img, LibcApi &serverLibc, NetStack &clientStack,
             ? static_cast<double>(res.bytes) * 8.0 / res.seconds / 1e9
             : 0;
     return res;
+}
+
+IperfResult
+runIperf(Image &img, LibcApi &serverLibc, NetStack &clientStack,
+         std::uint64_t totalBytes, std::size_t recvBufSize,
+         std::uint16_t port)
+{
+    return runIperfMulti(img, serverLibc, clientStack, totalBytes,
+                         recvBufSize, 1, port);
 }
 
 } // namespace flexos

@@ -5,6 +5,11 @@
  * The server recv()s into a configurable buffer; the client pumps bulk
  * data from a free-running thread. Smaller receive buffers mean more
  * gate crossings per byte — the batching effect Figure 9 plots.
+ *
+ * The multi-flow variant drives N parallel connections through one
+ * listener (thread-per-connection on the server, one free-running
+ * client fiber per flow), exercising the stack's accept backlog and
+ * flow table the way a loaded deployment would.
  */
 
 #ifndef FLEXOS_APPS_IPERF_HH
@@ -14,12 +19,13 @@
 
 namespace flexos {
 
-/** Result of one iPerf run. */
+/** Result of one iPerf run (aggregate over all flows). */
 struct IperfResult
 {
     std::uint64_t bytes = 0;
     double seconds = 0;
     double gbitPerSec = 0;
+    unsigned flows = 1;
 };
 
 /**
@@ -31,6 +37,17 @@ IperfResult runIperf(Image &img, LibcApi &serverLibc,
                      NetStack &clientStack, std::uint64_t totalBytes,
                      std::size_t recvBufSize,
                      std::uint16_t port = 5201);
+
+/**
+ * Multi-flow iPerf: `flows` parallel connections, each transferring
+ * bytesPerFlow. Aggregate goodput is measured from the first byte of
+ * any flow to the completion of the last.
+ */
+IperfResult runIperfMulti(Image &img, LibcApi &serverLibc,
+                          NetStack &clientStack,
+                          std::uint64_t bytesPerFlow,
+                          std::size_t recvBufSize, unsigned flows,
+                          std::uint16_t port = 5201);
 
 } // namespace flexos
 

@@ -346,29 +346,80 @@ RedisServer::execute(const RespCommand &cmd)
 
 // ------------------------------------------------------------ benchmark
 
+namespace {
+
+/** One benchmark connection: pipelined GETs for its request share. */
+void
+redisGetWorker(NetStack &clientStack, std::uint32_t serverIp,
+               std::uint16_t port, std::uint64_t requests,
+               unsigned pipeline, unsigned keyCount,
+               std::uint64_t &gotReplies, char &done)
+{
+    TcpSocket *s = clientStack.connect(serverIp, port);
+    panic_if(!s, "redis-benchmark could not connect");
+
+    char buf[8192];
+    std::uint64_t sent = 0, replies = 0;
+    std::string reply;
+    while (replies < requests) {
+        while (sent < requests && sent - replies < pipeline) {
+            std::string cmd = RespParser::command(
+                {"GET", "key:" + std::to_string(sent % keyCount)});
+            s->send(cmd.data(), cmd.size());
+            ++sent;
+        }
+        long n = s->recv(buf, sizeof(buf));
+        if (n <= 0)
+            break;
+        reply.append(buf, static_cast<std::size_t>(n));
+        // Count complete bulk-string replies.
+        std::size_t at;
+        while ((at = reply.find("\r\n")) != std::string::npos) {
+            if (reply[0] != '$')
+                break;
+            long len;
+            if (!parseInt(reply.substr(1, at - 1), len))
+                break;
+            std::size_t total =
+                at + 2 +
+                (len >= 0 ? static_cast<std::size_t>(len) + 2 : 0);
+            if (reply.size() < total)
+                break;
+            reply.erase(0, total);
+            ++replies;
+            ++gotReplies;
+        }
+    }
+    s->close();
+    done = 1;
+}
+
+} // namespace
+
 RedisBenchmarkResult
 runRedisGetBenchmark(Image &img, LibcApi &serverLibc,
                      NetStack &clientStack, std::uint64_t requests,
                      unsigned pipeline, unsigned keyCount,
-                     std::uint16_t port)
+                     std::uint16_t port, unsigned connections)
 {
+    panic_if(connections == 0, "benchmark needs at least one connection");
     Scheduler &sched = img.scheduler();
     Machine &mach = img.machine();
 
     RedisServer server(serverLibc, port);
     server.start();
 
-    bool clientDone = false;
     std::uint64_t gotReplies = 0;
     Cycles startCycles = 0;
-    bool started = false;
+    bool preloaded = false;
+    std::vector<char> workerDone(connections, 0);
 
-    Thread *client = sched.spawn("redis-benchmark", [&] {
+    // Preload the keyspace over a dedicated connection, then fan the
+    // measured GET load out over `connections` parallel connections.
+    Thread *loader = sched.spawn("redis-preload", [&] {
         TcpSocket *s =
             clientStack.connect(serverLibc.netstack()->ip(), port);
         panic_if(!s, "redis-benchmark could not connect");
-
-        // Preload the keyspace with SETs.
         for (unsigned k = 0; k < keyCount; ++k) {
             std::string cmd = RespParser::command(
                 {"SET", "key:" + std::to_string(k),
@@ -385,58 +436,53 @@ runRedisGetBenchmark(Image &img, LibcApi &serverLibc,
                 return;
             drained += static_cast<std::size_t>(n);
         }
-
-        // Measured phase: pipelined GETs.
-        started = true;
-        startCycles = mach.cycles();
-        std::uint64_t sent = 0;
-        std::string reply;
-        while (gotReplies < requests) {
-            while (sent < requests && sent - gotReplies < pipeline) {
-                std::string cmd = RespParser::command(
-                    {"GET",
-                     "key:" + std::to_string(sent % keyCount)});
-                s->send(cmd.data(), cmd.size());
-                ++sent;
-            }
-            long n = s->recv(buf, sizeof(buf));
-            if (n <= 0)
-                break;
-            reply.append(buf, static_cast<std::size_t>(n));
-            // Count complete bulk-string replies.
-            std::size_t at;
-            while ((at = reply.find("\r\n")) != std::string::npos) {
-                if (reply[0] != '$')
-                    break;
-                long len;
-                if (!parseInt(reply.substr(1, at - 1), len))
-                    break;
-                std::size_t total =
-                    at + 2 +
-                    (len >= 0 ? static_cast<std::size_t>(len) + 2 : 0);
-                if (reply.size() < total)
-                    break;
-                reply.erase(0, total);
-                ++gotReplies;
-            }
-        }
         s->close();
-        clientDone = true;
-    });
-    client->freeRunning = true; // client cores are not measured
 
-    bool ok = sched.runUntil([&] { return clientDone; }, 200'000'000);
+        startCycles = mach.cycles();
+        preloaded = true;
+        std::uint32_t ip = serverLibc.netstack()->ip();
+        for (unsigned c = 0; c < connections; ++c) {
+            std::uint64_t share = requests / connections +
+                                  (c < requests % connections ? 1 : 0);
+            char &done = workerDone[c];
+            Thread *w = sched.spawn(
+                "redis-bench-" + std::to_string(c),
+                [&, ip, share] {
+                    redisGetWorker(clientStack, ip, port, share,
+                                   pipeline, keyCount, gotReplies,
+                                   done);
+                });
+            w->freeRunning = true; // client cores are not measured
+        }
+    });
+    loader->freeRunning = true;
+
+    auto allDone = [&] {
+        if (!preloaded)
+            return false;
+        for (char d : workerDone)
+            if (!d)
+                return false;
+        return true;
+    };
+    bool ok = sched.runUntil(allDone, 200'000'000);
     panic_if(!ok, "redis benchmark did not complete");
+    Cycles endCycles = mach.cycles(); // before teardown work
     server.stop();
+    // Drain: every client closed its connection, so a few more rounds
+    // let the per-connection server fibers observe EOF and unwind
+    // (reclaiming their parser state) instead of being abandoned
+    // mid-recv.
+    sched.runUntil([] { return false; }, 20'000);
 
     RedisBenchmarkResult res;
     res.requests = gotReplies;
-    res.seconds = static_cast<double>(mach.cycles() - startCycles) /
+    res.connections = connections;
+    res.seconds = static_cast<double>(endCycles - startCycles) /
                   (mach.timing.cpuGhz * 1e9);
     res.requestsPerSec =
         res.seconds > 0 ? static_cast<double>(res.requests) / res.seconds
                         : 0;
-    (void)started;
     return res;
 }
 

@@ -119,15 +119,18 @@ class RedisServer
 
 /**
  * redis-benchmark-style client: pipelined GETs against a preloaded
- * keyspace, measuring requests per second of virtual time. Runs as a
- * free-running thread (client cycles are not charged, as in the
- * paper's separate client cores).
+ * keyspace, measuring requests per second of virtual time. Runs as
+ * free-running threads (client cycles are not charged, as in the
+ * paper's separate client cores). With connections > 1 the request
+ * budget is split over that many parallel connections, each served by
+ * its own thread-per-connection fiber on the server.
  */
 struct RedisBenchmarkResult
 {
     std::uint64_t requests = 0;
     double seconds = 0;
     double requestsPerSec = 0;
+    unsigned connections = 1;
 };
 
 RedisBenchmarkResult runRedisGetBenchmark(Image &img, LibcApi &serverLibc,
@@ -135,7 +138,8 @@ RedisBenchmarkResult runRedisGetBenchmark(Image &img, LibcApi &serverLibc,
                                           std::uint64_t requests,
                                           unsigned pipeline = 8,
                                           unsigned keyCount = 100,
-                                          std::uint16_t port = 6379);
+                                          std::uint16_t port = 6379,
+                                          unsigned connections = 1);
 
 } // namespace flexos
 

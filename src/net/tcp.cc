@@ -119,10 +119,22 @@ TcpSocket::failConnection()
 {
     errored = true;
     st = State::Closed;
+    leaveSynBacklog();
+    stack.unregisterFlow(this);
     cancelRetransmit();
     readers.wakeAll();
     writers.wakeAll();
     connectWait.wakeAll();
+}
+
+void
+TcpSocket::leaveSynBacklog()
+{
+    if (parent && inSynBacklog) {
+        panic_if(parent->embryonic == 0, "listener backlog underflow");
+        --parent->embryonic;
+        inSynBacklog = false;
+    }
 }
 
 void
@@ -131,6 +143,7 @@ TcpSocket::enterEstablished()
     st = State::Established;
     synInFlight = false;
     connectWait.wakeAll();
+    leaveSynBacklog();
     if (parent) {
         parent->acceptQueue.push_back(this);
         parent->acceptWait.wakeOne();
@@ -138,8 +151,15 @@ TcpSocket::enterEstablished()
 }
 
 void
-TcpSocket::handleSegment(const TcpHeader &h, const std::uint8_t *payload,
-                         std::size_t len)
+TcpSocket::enterClosed()
+{
+    st = State::Closed;
+    stack.unregisterFlow(this);
+    readers.wakeAll();
+}
+
+void
+TcpSocket::handleSegment(const TcpHeader &h, NetBufView payload)
 {
     stack.mach.consume(stack.mach.timing.packetProc);
 
@@ -168,8 +188,8 @@ TcpSocket::handleSegment(const TcpHeader &h, const std::uint8_t *payload,
             cancelRetransmit();
             enterEstablished();
             // Fall through to data processing: the ACK may carry data.
-            if (len)
-                handleData(h, payload, len);
+            if (!payload.empty())
+                handleData(h, payload);
         }
         return;
 
@@ -180,10 +200,10 @@ TcpSocket::handleSegment(const TcpHeader &h, const std::uint8_t *payload,
       case State::LastAck:
         if (h.flags & tcpAck)
             handleAck(h);
-        if (len)
-            handleData(h, payload, len);
+        if (!payload.empty())
+            handleData(h, payload);
         if (h.flags & tcpFin)
-            handleFin(h, len);
+            handleFin(h, payload.size());
         transmit();
         return;
 
@@ -210,10 +230,14 @@ TcpSocket::handleAck(const TcpHeader &h)
     if (finInFlight && seqLt(finSeq, h.ack)) {
         finAcked = true;
         finInFlight = false;
-        if (st == State::FinWait1)
-            st = peerClosed ? State::Closed : State::FinWait2;
-        else if (st == State::LastAck)
-            st = State::Closed;
+        if (st == State::FinWait1) {
+            if (peerClosed)
+                enterClosed();
+            else
+                st = State::FinWait2;
+        } else if (st == State::LastAck) {
+            enterClosed();
+        }
     }
     writers.wakeAll();
 
@@ -225,45 +249,158 @@ TcpSocket::handleAck(const TcpHeader &h)
 }
 
 void
-TcpSocket::handleData(const TcpHeader &h, const std::uint8_t *payload,
-                      std::size_t len)
+TcpSocket::handleData(const TcpHeader &h, NetBufView payload)
 {
-    stack.mach.consumePerByte(len, stack.mach.timing.csumPer16B);
+    stack.mach.consumePerByte(payload.size(),
+                              stack.mach.timing.csumPer16B);
 
-    if (h.seq == rcvNxt) {
-        rcvBuf.insert(rcvBuf.end(), payload, payload + len);
-        stack.mach.consumePerByte(len, stack.mach.timing.copyPer16B);
-        rcvNxt += static_cast<std::uint32_t>(len);
+    std::uint32_t seq = h.seq;
+    std::uint32_t end = seq + static_cast<std::uint32_t>(payload.size());
 
-        // Merge any out-of-order segments that are now contiguous.
-        for (auto it = outOfOrder.begin(); it != outOfOrder.end();) {
-            std::uint32_t segSeq = it->first;
-            auto &seg = it->second;
-            std::uint32_t segEnd =
-                segSeq + static_cast<std::uint32_t>(seg.size());
-            if (seqLe(segEnd, rcvNxt)) {
-                it = outOfOrder.erase(it); // fully duplicate
-                continue;
-            }
-            if (seqLe(segSeq, rcvNxt)) {
-                std::size_t skip = rcvNxt - segSeq;
-                rcvBuf.insert(rcvBuf.end(), seg.begin() + skip, seg.end());
-                rcvNxt = segEnd;
-                it = outOfOrder.erase(it);
-                continue;
-            }
-            break; // still a gap
-        }
+    // Entirely before rcvNxt: a true duplicate, nothing new to keep.
+    if (seqLe(end, rcvNxt)) {
+        stack.mach.bump("tcp.duplicates");
+        sendControl(tcpAck);
+        return;
+    }
+
+    // Partial overlap with already-delivered data (e.g. a retransmit
+    // that grew): trim the stale head and keep the new tail.
+    if (seqLt(seq, rcvNxt)) {
+        payload.pull(rcvNxt - seq);
+        seq = rcvNxt;
+        stack.mach.bump("tcp.partialOverlaps");
+    }
+
+    if (seq == rcvNxt) {
+        deliverInOrder(payload);
+        drainOutOfOrder();
         readers.wakeAll();
-    } else if (seqLt(rcvNxt, h.seq)) {
-        // Future segment: stash for reassembly.
-        outOfOrder.emplace(h.seq,
-                           std::vector<std::uint8_t>(payload, payload + len));
+    } else {
+        stashOutOfOrder(seq, payload);
+    }
+    sendControl(tcpAck);
+}
+
+void
+TcpSocket::deliverInOrder(NetBufView payload)
+{
+    rcvBuf.insert(rcvBuf.end(), payload.begin(), payload.end());
+    stack.mach.consumePerByte(payload.size(),
+                              stack.mach.timing.copyPer16B);
+    rcvNxt += static_cast<std::uint32_t>(payload.size());
+}
+
+void
+TcpSocket::drainOutOfOrder()
+{
+    // Deliver any stashed segments that became contiguous. Segments may
+    // still straddle rcvNxt when an in-order retransmit covered part of
+    // a stashed range; trim those rather than re-delivering bytes.
+    for (auto it = outOfOrder.begin(); it != outOfOrder.end();) {
+        std::uint32_t segSeq = it->first;
+        auto &seg = it->second;
+        std::uint32_t segEnd =
+            segSeq + static_cast<std::uint32_t>(seg.size());
+        panic_if(oooBytes < seg.size(), "ooo byte accounting underflow");
+        if (seqLe(segEnd, rcvNxt)) {
+            oooBytes -= seg.size();
+            it = outOfOrder.erase(it); // fully duplicate
+            continue;
+        }
+        if (seqLe(segSeq, rcvNxt)) {
+            std::size_t skip = rcvNxt - segSeq;
+            rcvBuf.insert(rcvBuf.end(), seg.begin() + skip, seg.end());
+            stack.mach.consumePerByte(seg.size() - skip,
+                                      stack.mach.timing.copyPer16B);
+            rcvNxt = segEnd;
+            oooBytes -= seg.size();
+            it = outOfOrder.erase(it);
+            continue;
+        }
+        break; // still a gap
+    }
+}
+
+void
+TcpSocket::stashOutOfOrder(std::uint32_t seq, NetBufView payload)
+{
+    // Insert the segment keeping the queue's invariant: stored segments
+    // are pairwise disjoint and all beyond rcvNxt. Where the new bytes
+    // overlap stored ones, the stored copy wins (it is identical data);
+    // only the uncovered gaps are copied in.
+    std::size_t added = 0;
+
+    // Clip against the nearest predecessor.
+    auto it = outOfOrder.lower_bound(seq);
+    if (it != outOfOrder.begin()) {
+        auto prev = std::prev(it);
+        std::uint32_t prevEnd =
+            prev->first + static_cast<std::uint32_t>(prev->second.size());
+        std::uint32_t end =
+            seq + static_cast<std::uint32_t>(payload.size());
+        if (seqLt(seq, prevEnd)) {
+            if (seqLe(end, prevEnd)) {
+                stack.mach.bump("tcp.duplicates");
+                return; // fully inside an existing segment
+            }
+            payload.pull(prevEnd - seq);
+            seq = prevEnd;
+        }
+    }
+
+    // Walk the successors, filling only the gaps between them.
+    while (!payload.empty()) {
+        it = outOfOrder.lower_bound(seq);
+        std::uint32_t end =
+            seq + static_cast<std::uint32_t>(payload.size());
+        if (it == outOfOrder.end() || seqLe(end, it->first)) {
+            outOfOrder.emplace(
+                seq,
+                std::vector<std::uint8_t>(payload.begin(), payload.end()));
+            added += payload.size();
+            break;
+        }
+        if (seqLt(seq, it->first)) {
+            std::size_t gap = it->first - seq;
+            outOfOrder.emplace(seq,
+                               std::vector<std::uint8_t>(
+                                   payload.begin(), payload.begin() + gap));
+            added += gap;
+            payload.pull(gap);
+            seq = it->first;
+        }
+        // Skip the bytes the existing segment already holds.
+        std::size_t covered =
+            std::min<std::size_t>(it->second.size(), payload.size());
+        payload.pull(covered);
+        seq += static_cast<std::uint32_t>(covered);
+    }
+
+    if (added) {
+        oooBytes += added;
+        stack.mach.consumePerByte(added, stack.mach.timing.copyPer16B);
         stack.mach.bump("tcp.outOfOrder");
+        stack.mach.bump("tcp.oooBytes", added);
+        enforceOooBound();
     } else {
         stack.mach.bump("tcp.duplicates");
     }
-    sendControl(tcpAck);
+}
+
+void
+TcpSocket::enforceOooBound()
+{
+    // Evict whole segments farthest from rcvNxt first: they are the
+    // least likely to become deliverable soon, and the peer's
+    // retransmission machinery restores them once the window advances.
+    while (oooBytes > oooLimit && !outOfOrder.empty()) {
+        auto last = std::prev(outOfOrder.end());
+        std::size_t n = last->second.size();
+        oooBytes -= n;
+        outOfOrder.erase(last);
+        stack.mach.bump("tcp.oooEvicted", n);
+    }
 }
 
 void
@@ -279,9 +416,9 @@ TcpSocket::handleFin(const TcpHeader &h, std::size_t payloadLen)
     if (st == State::Established)
         st = State::CloseWait;
     else if (st == State::FinWait1 && finAcked)
-        st = State::Closed;
+        enterClosed();
     else if (st == State::FinWait2)
-        st = State::Closed;
+        enterClosed();
 }
 
 void
@@ -394,6 +531,9 @@ NetStack::NetStack(Machine &m, Scheduler &s, NicEndpoint &nicEnd,
                    std::uint32_t ip)
     : mach(m), sched(s), nic(nicEnd), ipAddr(ip), timers(m)
 {
+    // Size the flow table for hundreds of concurrent connections up
+    // front so the hot demux path never rehashes mid-burst.
+    flows.reserve(512);
 }
 
 NetStack::~NetStack() = default;
@@ -411,17 +551,24 @@ NetStack::registerFlow(TcpSocket *s)
     FlowKey key{s->lPort, s->rIp, s->rPort};
     panic_if(flows.count(key), "duplicate TCP flow");
     flows[key] = s;
+    s->flowRegistered = true;
 }
 
 void
 NetStack::unregisterFlow(TcpSocket *s)
 {
+    if (!s->flowRegistered)
+        return;
     flows.erase(FlowKey{s->lPort, s->rIp, s->rPort});
+    s->flowRegistered = false;
 }
 
 std::uint16_t
 NetStack::ephemeralPort()
 {
+    // Stay in the IANA dynamic range even after 16-bit wraparound.
+    if (nextEphemeral < 49152)
+        nextEphemeral = 49152;
     return nextEphemeral++;
 }
 
@@ -433,12 +580,13 @@ NetStack::pickIss()
 }
 
 TcpSocket *
-NetStack::listen(std::uint16_t port)
+NetStack::listen(std::uint16_t port, std::size_t backlog)
 {
     fatal_if(listeners.count(port), "port ", port, " already listening");
     TcpSocket *s = makeSocket();
     s->st = TcpSocket::State::Listen;
     s->lPort = port;
+    s->backlog = backlog ? backlog : 1;
     listeners[port] = s;
     return s;
 }
@@ -447,7 +595,14 @@ TcpSocket *
 NetStack::connect(std::uint32_t dstIp, std::uint16_t dstPort)
 {
     TcpSocket *s = makeSocket();
-    s->lPort = ephemeralPort();
+    // Pick an ephemeral port whose 4-tuple is not in use (long-lived
+    // flows may still hold earlier ports after a wraparound).
+    std::uint16_t port = ephemeralPort();
+    for (unsigned tries = 0;
+         flows.count(FlowKey{port, dstIp, dstPort}) && tries < 16384;
+         ++tries)
+        port = ephemeralPort();
+    s->lPort = port;
     s->rIp = dstIp;
     s->rPort = dstPort;
     s->iss = pickIss();
@@ -527,23 +682,26 @@ NetStack::handleFrame(NetBuf frame)
         return;
     frame.pull(Ip4Header::wireSize);
     std::size_t segLen = ip.totalLen - Ip4Header::wireSize;
-    if (segLen > frame.size()) {
+    if (segLen < TcpHeader::wireSize || segLen > frame.size()) {
         mach.bump("ip.truncated");
         return;
     }
 
+    // From here on the frame is handed down as views; the NetBuf stays
+    // alive (and unmoved) for the whole segment-processing call chain,
+    // so no payload bytes are copied until they land in a socket buffer.
+    NetBufView seg = frame.view(0, segLen);
     TcpHeader tcp;
-    if (!tcp.parse(frame.data(), segLen, ip.src, ip.dst)) {
+    if (!tcp.parse(seg.data(), seg.size(), ip.src, ip.dst)) {
         mach.bump("tcp.badChecksum");
         return;
     }
-    const std::uint8_t *payload = frame.data() + TcpHeader::wireSize;
-    std::size_t payloadLen = segLen - TcpHeader::wireSize;
+    NetBufView payload = seg.sub(TcpHeader::wireSize);
 
     // Exact flow match first.
     auto it = flows.find(FlowKey{tcp.dstPort, ip.src, tcp.srcPort});
     if (it != flows.end()) {
-        it->second->handleSegment(tcp, payload, payloadLen);
+        it->second->handleSegment(tcp, payload);
         return;
     }
 
@@ -551,11 +709,21 @@ NetStack::handleFrame(NetBuf frame)
     auto lit = listeners.find(tcp.dstPort);
     if (lit != listeners.end() && (tcp.flags & tcpSyn) &&
         !(tcp.flags & tcpAck)) {
+        TcpSocket *listener = lit->second;
+        if (listener->acceptQueue.size() + listener->embryonic >=
+            listener->backlog) {
+            // Backlog full: drop the SYN; the client's retransmission
+            // retries once the queue drains.
+            mach.bump("tcp.backlogDrops");
+            return;
+        }
         TcpSocket *child = makeSocket();
         child->lPort = tcp.dstPort;
         child->rIp = ip.src;
         child->rPort = tcp.srcPort;
-        child->parent = lit->second;
+        child->parent = listener;
+        child->inSynBacklog = true;
+        ++listener->embryonic;
         child->iss = pickIss();
         child->sndUna = child->iss;
         child->sndNxt = child->iss + 1;

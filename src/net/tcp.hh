@@ -17,6 +17,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "net/nic.hh"
@@ -53,6 +54,8 @@ class TcpSocket
     static constexpr std::size_t mss = 1400;
     /** Send/receive buffer capacity. */
     static constexpr std::size_t bufMax = 64 * 1024;
+    /** Default listener backlog (embryonic + accept-ready children). */
+    static constexpr std::size_t defaultBacklog = 128;
 
     /**
      * Send n bytes; blocks while the send buffer is full.
@@ -91,16 +94,28 @@ class TcpSocket
     /** True once the peer sent FIN and the buffer may still drain. */
     bool peerHasClosed() const { return peerClosed; }
 
+    /** Bytes currently parked in the out-of-order reassembly queue. */
+    std::size_t oooQueuedBytes() const { return oooBytes; }
+
+    /**
+     * Cap on out-of-order reassembly memory. When exceeded, the
+     * segments farthest from rcvNxt are evicted (the peer retransmits
+     * them); tests shrink this to exercise eviction.
+     */
+    std::size_t oooLimit = bufMax;
+
   private:
     friend class NetStack;
 
     explicit TcpSocket(NetStack &stack);
 
-    void handleSegment(const TcpHeader &h, const std::uint8_t *payload,
-                       std::size_t len);
+    void handleSegment(const TcpHeader &h, NetBufView payload);
     void handleAck(const TcpHeader &h);
-    void handleData(const TcpHeader &h, const std::uint8_t *payload,
-                    std::size_t len);
+    void handleData(const TcpHeader &h, NetBufView payload);
+    void deliverInOrder(NetBufView payload);
+    void drainOutOfOrder();
+    void stashOutOfOrder(std::uint32_t seq, NetBufView payload);
+    void enforceOooBound();
     void handleFin(const TcpHeader &h, std::size_t payloadLen);
     void transmit();
     void sendControl(std::uint8_t flags);
@@ -110,6 +125,8 @@ class TcpSocket
     void cancelRetransmit();
     void onRetransmitTimeout();
     void enterEstablished();
+    void enterClosed();
+    void leaveSynBacklog();
     void failConnection();
     void maybeSendWindowUpdate();
     std::uint16_t advertisedWindow() const;
@@ -137,10 +154,26 @@ class TcpSocket
     bool finAcked = false;
     std::uint32_t finSeq = 0;
 
-    // Receive side.
+    // Receive side. The out-of-order queue holds pairwise-disjoint
+    // segments keyed by sequence number, all beyond rcvNxt; oooBytes
+    // tracks their total size against oooLimit. Ordering uses
+    // wraparound-aware sequence comparison — a valid strict weak
+    // ordering because all stashed segments lie within half the
+    // sequence space of each other (bounded by window + oooLimit) —
+    // so lower_bound/eviction stay correct across a 2^32 wrap.
+    struct SeqOrder
+    {
+        bool
+        operator()(std::uint32_t a, std::uint32_t b) const
+        {
+            return seqLt(a, b);
+        }
+    };
     std::uint32_t rcvNxt = 0;
     std::deque<std::uint8_t> rcvBuf;
-    std::map<std::uint32_t, std::vector<std::uint8_t>> outOfOrder;
+    std::map<std::uint32_t, std::vector<std::uint8_t>, SeqOrder>
+        outOfOrder;
+    std::size_t oooBytes = 0;
     bool peerClosed = false;
     std::uint16_t lastAdvWindow = 0xffff;
 
@@ -153,9 +186,15 @@ class TcpSocket
     WaitQueue writers;
     WaitQueue connectWait;
 
-    // Listener state.
+    // Listener state. backlog bounds embryonic (SYN-received) plus
+    // accept-ready children; SYNs beyond it are dropped and the client
+    // retries.
     std::deque<TcpSocket *> acceptQueue;
     WaitQueue acceptWait;
+    std::size_t backlog = defaultBacklog;
+    std::size_t embryonic = 0;   ///< children still in SynRcvd
+    bool inSynBacklog = false;   ///< this child occupies a backlog slot
+    bool flowRegistered = false; ///< present in the stack's flow table
     TcpSocket *parent = nullptr; ///< listener that spawned us
 };
 
@@ -173,8 +212,13 @@ class NetStack
     NetStack(const NetStack &) = delete;
     NetStack &operator=(const NetStack &) = delete;
 
-    /** Open a listening socket on a port. */
-    TcpSocket *listen(std::uint16_t port);
+    /**
+     * Open a listening socket on a port. backlog bounds the number of
+     * not-yet-accepted children (embryonic + accept-ready); excess SYNs
+     * are dropped and recovered by the client's SYN retransmission.
+     */
+    TcpSocket *listen(std::uint16_t port,
+                      std::size_t backlog = TcpSocket::defaultBacklog);
 
     /** Actively connect; blocks until established or failed. */
     TcpSocket *connect(std::uint32_t dstIp, std::uint16_t dstPort);
@@ -195,6 +239,9 @@ class NetStack
     Scheduler &scheduler() { return sched; }
     TimerQueue &timerQueue() { return timers; }
 
+    /** Active entries in the flow table (established + handshaking). */
+    std::size_t flowCount() const { return flows.size(); }
+
     /** Base retransmission timeout (virtual ns); tests shrink it. */
     std::uint64_t baseRtoNs = 200'000'000; // 200 ms
 
@@ -208,13 +255,28 @@ class NetStack
         std::uint16_t remotePort;
 
         bool
-        operator<(const FlowKey &o) const
+        operator==(const FlowKey &o) const
         {
-            if (localPort != o.localPort)
-                return localPort < o.localPort;
-            if (remoteIp != o.remoteIp)
-                return remoteIp < o.remoteIp;
-            return remotePort < o.remotePort;
+            return localPort == o.localPort && remoteIp == o.remoteIp &&
+                   remotePort == o.remotePort;
+        }
+    };
+
+    struct FlowKeyHash
+    {
+        std::size_t
+        operator()(const FlowKey &k) const
+        {
+            std::uint64_t v = (std::uint64_t(k.localPort) << 48) ^
+                              (std::uint64_t(k.remotePort) << 32) ^
+                              k.remoteIp;
+            // 64-bit mix (splitmix64 finalizer).
+            v ^= v >> 30;
+            v *= 0xbf58476d1ce4e5b9ull;
+            v ^= v >> 27;
+            v *= 0x94d049bb133111ebull;
+            v ^= v >> 31;
+            return static_cast<std::size_t>(v);
         }
     };
 
@@ -235,8 +297,8 @@ class NetStack
     TimerQueue timers;
 
     std::vector<std::unique_ptr<TcpSocket>> sockets;
-    std::map<FlowKey, TcpSocket *> flows;
-    std::map<std::uint16_t, TcpSocket *> listeners;
+    std::unordered_map<FlowKey, TcpSocket *, FlowKeyHash> flows;
+    std::unordered_map<std::uint16_t, TcpSocket *> listeners;
     std::uint16_t nextEphemeral = 49152;
     std::uint32_t issCounter = 1000;
     bool stopping = false;

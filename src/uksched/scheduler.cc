@@ -4,12 +4,50 @@
 
 #include "base/logging.hh"
 
+// AddressSanitizer must be told about ucontext fiber switches or it
+// attributes fiber stacks to the host thread, producing false
+// stack-buffer-overflow reports (e.g. on exception unwinds inside a
+// fiber). The annotations are no-ops without ASan.
+#if defined(__SANITIZE_ADDRESS__)
+#define FLEXOS_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FLEXOS_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef FLEXOS_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace flexos {
 
 namespace {
 
 /** Scheduler whose thread is currently starting (single host thread). */
 Scheduler *activeScheduler = nullptr;
+
+#ifdef FLEXOS_ASAN_FIBERS
+/** Host (scheduler) stack bounds, learned on the first fiber entry. */
+const void *hostStackBottom = nullptr;
+std::size_t hostStackSize = 0;
+/** The scheduler context's saved ASan fake stack. */
+void *schedFakeStack = nullptr;
+
+void
+asanEnterFiber(void *fiberFakeStack)
+{
+    __sanitizer_finish_switch_fiber(fiberFakeStack, &hostStackBottom,
+                                    &hostStackSize);
+}
+
+void
+asanLeaveFiber(void **fiberFakeStackSave)
+{
+    __sanitizer_start_switch_fiber(fiberFakeStackSave, hostStackBottom,
+                                   hostStackSize);
+}
+#endif
 
 } // namespace
 
@@ -24,7 +62,39 @@ Scheduler::Scheduler(Machine &m) : mach(m)
 {
 }
 
-Scheduler::~Scheduler() = default;
+Scheduler::~Scheduler()
+{
+    cancelAll();
+}
+
+void
+Scheduler::cancelAll()
+{
+    // Unwind every unfinished fiber so its locals are destroyed rather
+    // than abandoned with the stack (which LeakSanitizer rightly
+    // reports). Each started fiber is resumed with `cancelling` set;
+    // its next suspension point throws ThreadCancelled through the
+    // fiber's frames. Owners whose fibers hold locals with non-trivial
+    // destructors (gate state, DSS frames) should call this while the
+    // rest of the world is still alive; the destructor's own call is a
+    // last-resort backstop where only Machine and the threads are
+    // guaranteed live. Backend hooks are disabled either way.
+    cancelling = true;
+    onSwitch = nullptr;
+    onThreadCreate = nullptr;
+    for (auto &t : threads) {
+        if (!t->started_) {
+            t->state_ = Thread::State::Finished; // nothing on its stack
+            continue;
+        }
+        // A fiber may swallow the cancellation with catch(...) and
+        // suspend again; bound the retries to avoid livelock.
+        for (int tries = 0;
+             t->state_ != Thread::State::Finished && tries < 8; ++tries)
+            switchTo(t.get());
+    }
+    cancelling = false;
+}
 
 Thread *
 Scheduler::spawn(std::string name, Thread::Entry entry,
@@ -54,6 +124,9 @@ Scheduler::spawn(std::string name, Thread::Entry entry,
 void
 Scheduler::trampoline()
 {
+#ifdef FLEXOS_ASAN_FIBERS
+    asanEnterFiber(nullptr); // first entry: no fake stack to restore
+#endif
     panic_if(!activeScheduler, "thread started without a scheduler");
     activeScheduler->threadMain();
 }
@@ -62,8 +135,11 @@ void
 Scheduler::threadMain()
 {
     Thread *self = running;
+    self->started_ = true;
     try {
         self->entry();
+    } catch (const ThreadCancelled &) {
+        // Scheduler teardown unwound this fiber; not an error.
     } catch (const std::exception &e) {
         self->error_ = e.what();
     } catch (...) {
@@ -73,6 +149,11 @@ Scheduler::threadMain()
     for (Thread *j : self->joiners)
         wake(j);
     self->joiners.clear();
+#ifdef FLEXOS_ASAN_FIBERS
+    // Dying fiber: null save slot tells ASan to free its fake stack.
+    __sanitizer_start_switch_fiber(nullptr, hostStackBottom,
+                                   hostStackSize);
+#endif
     swapcontext(&self->ctx, &schedCtx);
     panic("resumed a finished thread");
 }
@@ -98,7 +179,14 @@ Scheduler::switchTo(Thread *t)
 
     Scheduler *prevActive = activeScheduler;
     activeScheduler = this;
+#ifdef FLEXOS_ASAN_FIBERS
+    __sanitizer_start_switch_fiber(&schedFakeStack, t->stack.data(),
+                                   t->stack.size());
+#endif
     swapcontext(&schedCtx, &t->ctx);
+#ifdef FLEXOS_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(schedFakeStack, nullptr, nullptr);
+#endif
     activeScheduler = prevActive;
 
     // Back in the scheduler (TCB): run unrestricted and charged. This
@@ -121,7 +209,15 @@ Scheduler::switchOut()
     mach.pkru = Pkru(Pkru::allowAllValue);
     mach.chargingEnabled = true;
     mach.workMultiplier = 1.0;
+#ifdef FLEXOS_ASAN_FIBERS
+    asanLeaveFiber(&self->asanFakeStack);
+#endif
     swapcontext(&self->ctx, &schedCtx);
+#ifdef FLEXOS_ASAN_FIBERS
+    asanEnterFiber(self->asanFakeStack);
+#endif
+    if (cancelling)
+        throw ThreadCancelled{};
 }
 
 bool

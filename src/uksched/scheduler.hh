@@ -34,6 +34,17 @@ class Scheduler;
 class WaitQueue;
 
 /**
+ * Thrown inside a fiber at its next suspension point when the scheduler
+ * is tearing down, unwinding the fiber's stack so its locals are
+ * destroyed instead of abandoned. Deliberately not a std::exception so
+ * application-level catch(const std::exception&) handlers cannot
+ * swallow it.
+ */
+struct ThreadCancelled
+{
+};
+
+/**
  * A cooperative thread (fiber).
  */
 class Thread
@@ -87,6 +98,8 @@ class Thread
     std::vector<char> stack;
     std::uint64_t wakeAtCycles = 0;
     std::vector<Thread *> joiners;
+    void *asanFakeStack = nullptr; ///< ASan fiber-switch save slot
+    bool started_ = false;         ///< has ever run on its own stack
 };
 
 /**
@@ -140,6 +153,14 @@ class Scheduler
     /** Make a blocked thread runnable. */
     void wake(Thread *t);
 
+    /**
+     * Cancel and unwind every unfinished fiber (their next suspension
+     * point throws ThreadCancelled). Called automatically on
+     * destruction; owners should call it earlier, while objects the
+     * fibers' locals reference are still alive.
+     */
+    void cancelAll();
+
     /** The thread currently executing, or null in the scheduler itself. */
     Thread *current() { return running; }
 
@@ -185,6 +206,7 @@ class Scheduler
     ucontext_t schedCtx;
     int nextId = 1;
     std::uint64_t switchCount = 0;
+    bool cancelling = false; ///< teardown: suspension points throw
 };
 
 /**

@@ -564,6 +564,45 @@ TEST(Iperf, TransfersAllBytes)
     dep.stop();
 }
 
+TEST(Iperf, MultiFlowAggregateHolds)
+{
+    double single;
+    {
+        Deployment dep(noneConfigAllApps);
+        dep.start();
+        single = runIperf(dep.image(), dep.libc(), dep.clientStack(),
+                          128 * 1024, 8192)
+                     .gbitPerSec;
+        dep.stop();
+    }
+    Deployment dep(noneConfigAllApps);
+    dep.start();
+    IperfResult res = runIperfMulti(dep.image(), dep.libc(),
+                                    dep.clientStack(), 128 * 1024, 8192,
+                                    8);
+    dep.stop();
+    // All eight flows complete in full...
+    EXPECT_EQ(res.flows, 8u);
+    EXPECT_EQ(res.bytes, 8u * 128 * 1024);
+    // ...and on the single simulated core the aggregate goodput holds
+    // near the single-flow figure rather than collapsing under the
+    // extra demux/accept work.
+    EXPECT_GT(res.gbitPerSec, single * 0.7);
+}
+
+TEST(RedisBenchmark, MultiConnectionServesAllRequests)
+{
+    Deployment dep(noneConfigAllApps);
+    dep.start();
+    RedisBenchmarkResult res =
+        runRedisGetBenchmark(dep.image(), dep.libc(), dep.clientStack(),
+                             500, 8, 50, 6379, 8);
+    EXPECT_EQ(res.requests, 500u);
+    EXPECT_EQ(res.connections, 8u);
+    EXPECT_GT(res.requestsPerSec, 10'000.0);
+    dep.stop();
+}
+
 TEST(Iperf, LargerBuffersAreFaster)
 {
     auto run = [](std::size_t bufSize) {

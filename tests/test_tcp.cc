@@ -113,6 +113,72 @@ TEST(NetBuf, PushPullAppend)
     EXPECT_THROW(b.pull(99), PanicError);
 }
 
+TEST(NetBuf, MoveResetsSource)
+{
+    NetBuf a(256, 64);
+    a.append("abc", 3);
+    NetBuf b = std::move(a);
+    EXPECT_EQ(b.size(), 3u);
+    EXPECT_EQ(std::memcmp(b.data(), "abc", 3), 0);
+
+    // The moved-from buffer must not keep stale sizes over its emptied
+    // storage (the corruption class behind the netbuf panic).
+    EXPECT_EQ(a.size(), 0u);
+    EXPECT_EQ(a.headroom(), 0u);
+    EXPECT_EQ(a.capacity(), 0u);
+    EXPECT_EQ(a.tailroom(), 0u);
+    EXPECT_THROW(a.pull(1), PanicError);
+
+    NetBuf c(128, 32);
+    c.append("x", 1);
+    c = std::move(b);
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_EQ(std::memcmp(c.data(), "abc", 3), 0);
+    EXPECT_EQ(b.size(), 0u);
+    EXPECT_EQ(b.headroom(), 0u);
+    EXPECT_EQ(b.capacity(), 0u);
+
+    // reset() restores a sane empty state, clamped to the capacity.
+    b.reset();
+    EXPECT_EQ(b.size(), 0u);
+    EXPECT_EQ(b.headroom(), 0u); // moved-from: no storage to reserve
+    c.reset(16);
+    EXPECT_EQ(c.size(), 0u);
+    EXPECT_EQ(c.headroom(), 16u);
+    c.append("hello", 5);
+    EXPECT_EQ(std::memcmp(c.data(), "hello", 5), 0);
+}
+
+TEST(NetBuf, ViewSliceAndTrim)
+{
+    NetBuf b(256, 64);
+    b.append("abcdefgh", 8);
+
+    NetBufView v = b.view();
+    EXPECT_EQ(v.size(), 8u);
+    EXPECT_EQ(v[0], 'a');
+    EXPECT_EQ(std::memcmp(v.data(), "abcdefgh", 8), 0);
+
+    NetBufView mid = v.sub(2, 4);
+    EXPECT_EQ(mid.size(), 4u);
+    EXPECT_EQ(std::memcmp(mid.data(), "cdef", 4), 0);
+
+    // Open-ended slice clamps to the remainder.
+    NetBufView tail = b.view(5);
+    EXPECT_EQ(tail.size(), 3u);
+    EXPECT_EQ(std::memcmp(tail.data(), "fgh", 3), 0);
+
+    mid.pull(1);
+    EXPECT_EQ(std::memcmp(mid.data(), "def", 3), 0);
+    mid.trimBack(1);
+    EXPECT_EQ(mid.size(), 2u);
+    EXPECT_EQ(std::memcmp(mid.data(), "de", 2), 0);
+
+    EXPECT_THROW(v.sub(9), PanicError);
+    EXPECT_THROW(mid.pull(3), PanicError);
+    EXPECT_THROW(mid.trimBack(3), PanicError);
+}
+
 TEST(Nic, LinkDeliversFramesInOrder)
 {
     Machine m;
@@ -154,6 +220,9 @@ struct TcpFixture : ::testing::Test
         server.stop();
         client.stop();
         sched.run();
+        // Unwind fibers still blocked in recv/accept while the network
+        // stacks (and their sockets) are alive.
+        sched.cancelAll();
     }
 
     Machine mach;
@@ -336,6 +405,260 @@ TEST_F(TcpFixture, SegmentsCarryRealChecksumsEndToEnd)
     EXPECT_TRUE(corrupted);
     EXPECT_GE(mach.counter("tcp.badChecksum"), 1u);
     EXPECT_GE(mach.counter("tcp.retransmits"), 1u);
+}
+
+/**
+ * Craft a full Eth+IPv4+TCP frame with valid checksums, for injecting
+ * hand-built segments (overlaps, far-future data) into a live flow.
+ */
+NetBuf
+craftSegment(std::uint32_t srcIp, std::uint32_t dstIp,
+             std::uint16_t srcPort, std::uint16_t dstPort,
+             std::uint32_t seq, std::uint8_t flags,
+             const std::vector<std::uint8_t> &payload)
+{
+    NetBuf frame;
+    if (!payload.empty())
+        frame.append(payload.data(), payload.size());
+
+    TcpHeader tcp;
+    tcp.srcPort = srcPort;
+    tcp.dstPort = dstPort;
+    tcp.seq = seq;
+    tcp.ack = 0;
+    tcp.flags = flags;
+    tcp.window = 0xffff;
+    std::uint8_t *at = frame.push(TcpHeader::wireSize);
+    tcp.serialize(at, srcIp, dstIp, at + TcpHeader::wireSize,
+                  payload.size());
+
+    Ip4Header ip;
+    ip.totalLen = static_cast<std::uint16_t>(
+        Ip4Header::wireSize + TcpHeader::wireSize + payload.size());
+    ip.protocol = Ip4Header::protoTcp;
+    ip.src = srcIp;
+    ip.dst = dstIp;
+    ip.serialize(frame.push(Ip4Header::wireSize));
+
+    EthHeader eth{};
+    eth.etherType = EthHeader::typeIp4;
+    eth.serialize(frame.push(EthHeader::wireSize));
+    return frame;
+}
+
+/** Deterministic payload byte for stream offset i. */
+std::uint8_t
+streamByte(std::size_t i)
+{
+    return static_cast<std::uint8_t>('A' + i % 23);
+}
+
+/**
+ * A segment that partially overlaps delivered data must contribute its
+ * new tail bytes — the seed stack miscounted it as a duplicate and
+ * dropped them, forcing a full retransmit.
+ */
+TEST_F(TcpFixture, OverlappingRetransmitDeliversNewTail)
+{
+    TcpSocket *listener = server.listen(80);
+    TcpSocket *accepted = nullptr;
+    std::string got;
+    sched.spawn("srv", [&] {
+        accepted = listener->accept();
+        char buf[64];
+        long n;
+        while ((n = accepted->recv(buf, sizeof(buf))) > 0)
+            got.append(buf, static_cast<std::size_t>(n));
+    });
+    TcpSocket *conn = nullptr;
+    sched.spawn("cli", [&] {
+        conn = client.connect(makeIp(10, 0, 0, 1), 80);
+        ASSERT_NE(conn, nullptr);
+        conn->send("hello", 5);
+    });
+    ASSERT_TRUE(sched.runUntil([&] { return got == "hello"; }));
+
+    // The client stack's deterministic ISS: issCounter starts at 1000
+    // and pickIss() advances by 64000, so the first data byte of the
+    // first connection is sequence 65001.
+    const std::uint32_t firstData = 65001;
+
+    // Retransmit "hello" grown by new data: seq overlaps the 5
+    // delivered bytes, the tail is new. PSH only (no ACK) so the
+    // server's ACK machinery is not involved.
+    std::vector<std::uint8_t> overlap{'h', 'e', 'l', 'l', 'o',
+                                      'W', 'O', 'R', 'L', 'D'};
+    link.endB().transmit(craftSegment(
+        makeIp(10, 0, 0, 2), makeIp(10, 0, 0, 1), conn->localPort(), 80,
+        firstData, tcpPsh, overlap));
+
+    ASSERT_TRUE(sched.runUntil([&] { return got.size() == 10; }));
+    EXPECT_EQ(got, "helloWORLD");
+    EXPECT_GE(mach.counter("tcp.partialOverlaps"), 1u);
+}
+
+/**
+ * The out-of-order queue is bounded: segments farthest from rcvNxt are
+ * evicted once oooLimit is exceeded, and delivery still completes
+ * correctly from the in-order stream.
+ */
+TEST_F(TcpFixture, OutOfOrderQueueBoundedEviction)
+{
+    TcpSocket *listener = server.listen(80);
+    TcpSocket *accepted = nullptr;
+    std::vector<std::uint8_t> received;
+    sched.spawn("srv", [&] {
+        accepted = listener->accept();
+        std::uint8_t buf[4096];
+        long n;
+        while ((n = accepted->recv(buf, sizeof(buf))) > 0)
+            received.insert(received.end(), buf, buf + n);
+    });
+    TcpSocket *conn = nullptr;
+    sched.spawn("cli", [&] {
+        conn = client.connect(makeIp(10, 0, 0, 1), 80);
+    });
+    ASSERT_TRUE(sched.runUntil([&] { return accepted && conn; }));
+    accepted->oooLimit = 2048;
+
+    const std::uint32_t firstData = 65001;
+    auto inject = [&](std::size_t off, std::size_t len) {
+        std::vector<std::uint8_t> bytes(len);
+        for (std::size_t i = 0; i < len; ++i)
+            bytes[i] = streamByte(off + i);
+        link.endB().transmit(craftSegment(
+            makeIp(10, 0, 0, 2), makeIp(10, 0, 0, 1), conn->localPort(),
+            80, firstData + static_cast<std::uint32_t>(off), tcpPsh,
+            bytes));
+    };
+
+    // Four disjoint future segments, 2400 bytes > the 2048 limit: the
+    // farthest (offset 4000) must be evicted.
+    inject(1000, 600);
+    inject(2000, 600);
+    inject(3000, 600);
+    inject(4000, 600);
+    ASSERT_TRUE(sched.runUntil(
+        [&] { return mach.counter("tcp.oooEvicted") > 0; }));
+    EXPECT_EQ(accepted->oooQueuedBytes(), 1800u);
+    EXPECT_LE(accepted->oooQueuedBytes(), accepted->oooLimit);
+    EXPECT_EQ(mach.counter("tcp.oooEvicted"), 600u);
+    EXPECT_GE(mach.counter("tcp.outOfOrder"), 3u);
+
+    // Injecting a segment fully inside a stashed one is a duplicate.
+    std::uint64_t dupsBefore = mach.counter("tcp.duplicates");
+    inject(2100, 300);
+    ASSERT_TRUE(sched.runUntil(
+        [&] { return mach.counter("tcp.duplicates") > dupsBefore; }));
+    EXPECT_EQ(accepted->oooQueuedBytes(), 1800u);
+
+    // The in-order stream then delivers everything; stashed ranges are
+    // merged (not re-delivered) and the evicted range arrives in order.
+    const std::size_t total = 5000;
+    std::vector<std::uint8_t> sent(total);
+    for (std::size_t i = 0; i < total; ++i)
+        sent[i] = streamByte(i);
+    sched.spawn("cli-send", [&] {
+        conn->send(sent.data(), sent.size());
+        conn->close();
+    });
+    ASSERT_TRUE(
+        sched.runUntil([&] { return received.size() == total; }));
+    EXPECT_EQ(received, sent);
+    EXPECT_EQ(accepted->oooQueuedBytes(), 0u);
+}
+
+/** 100 clients connect in parallel against one listener. */
+TEST_F(TcpFixture, AcceptStormHundredConnections)
+{
+    constexpr int conns = 100;
+    TcpSocket *listener = server.listen(80);
+    int served = 0;
+    sched.spawn("srv-accept", [&] {
+        for (int i = 0; i < conns; ++i) {
+            TcpSocket *s = listener->accept();
+            sched.spawn("srv-echo", [&, s] {
+                char buf[32];
+                long n = s->recv(buf, sizeof(buf));
+                if (n > 0)
+                    s->send(buf, static_cast<std::size_t>(n));
+                while (s->recv(buf, sizeof(buf)) > 0) {
+                }
+                s->close();
+                ++served;
+            });
+        }
+    });
+
+    int ok = 0;
+    for (int i = 0; i < conns; ++i) {
+        sched.spawn("cli-" + std::to_string(i), [&, i] {
+            TcpSocket *s = client.connect(makeIp(10, 0, 0, 1), 80);
+            ASSERT_NE(s, nullptr);
+            std::string msg = "c" + std::to_string(i);
+            s->send(msg.data(), msg.size());
+            char buf[32];
+            long n = s->recv(buf, sizeof(buf));
+            if (std::string(buf, static_cast<std::size_t>(n)) == msg)
+                ++ok;
+            s->close();
+        });
+    }
+
+    ASSERT_TRUE(sched.runUntil(
+        [&] { return ok == conns && served == conns; }, 5'000'000));
+    EXPECT_EQ(mach.counter("tcp.backlogDrops"), 0u);
+
+    // Flow-table hygiene: every closed connection is reaped.
+    ASSERT_TRUE(sched.runUntil(
+        [&] {
+            return server.flowCount() == 0 && client.flowCount() == 0;
+        },
+        5'000'000));
+}
+
+/**
+ * A tiny backlog under a connection storm: excess SYNs are dropped and
+ * recovered by SYN retransmission, so every client still gets served.
+ */
+TEST_F(TcpFixture, SmallBacklogRecoversViaSynRetransmit)
+{
+    constexpr int conns = 20;
+    TcpSocket *listener = server.listen(80, 2);
+    int served = 0;
+    sched.spawn("srv-accept", [&] {
+        for (int i = 0; i < conns; ++i) {
+            TcpSocket *s = listener->accept();
+            sched.spawn("srv-echo", [&, s] {
+                char buf[32];
+                long n = s->recv(buf, sizeof(buf));
+                if (n > 0)
+                    s->send(buf, static_cast<std::size_t>(n));
+                s->close();
+                ++served;
+            });
+        }
+    });
+
+    int ok = 0;
+    for (int i = 0; i < conns; ++i) {
+        sched.spawn("cli-" + std::to_string(i), [&, i] {
+            TcpSocket *s = client.connect(makeIp(10, 0, 0, 1), 80);
+            ASSERT_NE(s, nullptr);
+            std::string msg = "b" + std::to_string(i);
+            s->send(msg.data(), msg.size());
+            char buf[32];
+            long n = s->recv(buf, sizeof(buf));
+            if (n > 0 &&
+                std::string(buf, static_cast<std::size_t>(n)) == msg)
+                ++ok;
+            s->close();
+        });
+    }
+
+    ASSERT_TRUE(sched.runUntil(
+        [&] { return ok == conns && served == conns; }, 10'000'000));
+    EXPECT_GE(mach.counter("tcp.backlogDrops"), 1u);
 }
 
 /** Property test: delivery is reliable under random loss + reordering. */
