@@ -55,5 +55,29 @@ main()
                 "(paper: 32 vs 20)\n",
                 countWithin(nginx, nginxMax, 0.45),
                 countWithin(redis, redisMax, 0.45));
+
+    // --- Mixed-mechanism scatter -------------------------------------
+    // The mechanism is a per-boundary knob: the same partitions, with
+    // every per-block assignment from {none, mpk, ept}. Heterogeneous
+    // points sit between the homogeneous corners — e.g. keeping only
+    // the network boundary on EPT buys VM-grade isolation where it
+    // matters at a fraction of the all-EPT cost.
+    std::vector<ConfigPoint> mixed = wayfinder::mixedMechanismSpace();
+    std::vector<double> mixedRedis;
+    double mixedMax = 0;
+    for (const ConfigPoint &p : mixed) {
+        mixedRedis.push_back(wayfinder::measureRedis(p, 150));
+        mixedMax = std::max(mixedMax, mixedRedis.back());
+    }
+    std::printf("\n=== Mixed-mechanism dimension: Redis, %zu per-block "
+                "mechanism assignments ===\n",
+                mixed.size());
+    std::printf("%-6s %-14s %s\n", "comps", "redis (norm)",
+                "configuration");
+    for (std::size_t i = 0; i < mixed.size(); ++i) {
+        std::printf("%-6d %-14.3f %s\n", mixed[i].compartments(),
+                    mixedRedis[i] / mixedMax,
+                    wayfinder::pointLabel(mixed[i], "app").c_str());
+    }
     return 0;
 }

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Heterogeneous isolation: one image, several mechanisms. The
+ * mechanism is a per-boundary build-time knob, so a deployment can
+ * spend the expensive protection exactly where the threat is: here the
+ * network stack — the component parsing attacker-controlled bytes —
+ * sits alone in an EPT-backed VM, while the application and system
+ * libraries stay behind cheap MPK boundaries. Every crossing is routed
+ * through the *callee* compartment's backend: calls into lwip pay the
+ * RPC gate, calls between app and libc pay the MPK gate, and
+ * same-compartment calls stay plain calls.
+ *
+ * The workload is the PR 1 multi-flow iperf: N parallel connections
+ * through one listener, i.e. MPK->EPT and EPT->MPK crossings under
+ * load rather than a single ping.
+ */
+
+#include <cstdio>
+
+#include "apps/deploy.hh"
+#include "apps/iperf.hh"
+
+using namespace flexos;
+
+namespace {
+
+const char *heterogeneousConfig = R"(
+compartments:
+- app:
+    mechanism: intel-mpk
+    default: True
+- sys:
+    mechanism: intel-mpk
+- net:
+    mechanism: vm-ept        # attacker-facing: strongest boundary
+libraries:
+- libiperf: app
+- newlib: sys
+- uksched: sys
+- lwip: net
+)";
+
+} // namespace
+
+int
+main()
+{
+    DeployOptions opts;
+    opts.withFs = false;
+    Deployment dep(heterogeneousConfig, opts);
+
+    std::printf("=== Heterogeneous isolation: MPK app/sys + EPT net "
+                "===\n\n");
+    std::printf("backends instantiated: %s\n",
+                dep.image().backendNames().c_str());
+    for (std::size_t i = 0; i < dep.image().compartmentCount(); ++i) {
+        const Compartment &c = dep.image().compartmentAt(i);
+        std::printf("  compartment %zu '%s' -> %s\n", i,
+                    c.spec.name.c_str(),
+                    dep.image().backendFor(static_cast<int>(i)).name());
+    }
+
+    dep.start();
+    IperfResult res = runIperfMulti(dep.image(), dep.libc(),
+                                    dep.clientStack(), 64 * 1024, 4096,
+                                    /*flows=*/4);
+    dep.stop();
+
+    Machine &m = dep.machine();
+    std::printf("\niperf: %u flows, %.2f Gb/s aggregate\n", res.flows,
+                res.gbitPerSec);
+    std::printf("\ngate traffic by mechanism:\n");
+    std::printf("  gate.direct   (same compartment) : %10lu\n",
+                static_cast<unsigned long>(m.counter("gate.direct")));
+    std::printf("  gate.mpk.dss  (into app/sys)     : %10lu\n",
+                static_cast<unsigned long>(m.counter("gate.mpk.dss")));
+    std::printf("  gate.ept      (into net, RPC)    : %10lu\n",
+                static_cast<unsigned long>(m.counter("gate.ept")));
+
+    std::printf("\ncrossings per boundary (from -> to):\n");
+    for (const auto &[pair, n] : dep.image().gateCrossings()) {
+        std::printf("  %s -> %s : %lu\n",
+                    dep.image()
+                        .compartmentAt(static_cast<std::size_t>(
+                            pair.first))
+                        .spec.name.c_str(),
+                    dep.image()
+                        .compartmentAt(static_cast<std::size_t>(
+                            pair.second))
+                        .spec.name.c_str(),
+                    static_cast<unsigned long>(n));
+    }
+
+    std::printf("\nOne config file, two mechanisms: the network "
+                "boundary is VM-grade while\napp<->libc crossings stay "
+                "at MPK cost. Swapping 'vm-ept' for 'intel-mpk'\n(or "
+                "back) is a one-word change per compartment.\n");
+    return 0;
+}

@@ -27,6 +27,17 @@ namespace flexos {
 namespace {
 
 /**
+ * Whether a compartment's boundary is enforced by backend `be` — in a
+ * mixed-mechanism image each backend boots/tears down only the
+ * compartments declaring its mechanism.
+ */
+bool
+ownsCompartment(const IsolationBackend &be, Image &img, std::size_t i)
+{
+    return img.compartmentAt(i).spec.mechanism == be.mechanism();
+}
+
+/**
  * RAII domain transition used by all inline (non-RPC) gates: installs
  * the target compartment's PKRU, compartment id and work multiplier,
  * restoring the caller's on scope exit (also on exceptions, which is
@@ -75,9 +86,11 @@ class NoneBackend : public IsolationBackend
     void
     boot(Image &img) override
     {
-        // One protection domain: every compartment's PKRU allows all.
+        // One protection domain: each unisolated compartment's PKRU
+        // allows all. Other compartments (mixed image) keep theirs.
         for (std::size_t i = 0; i < img.compartmentCount(); ++i)
-            img.compartmentAt(i).domain = Pkru(Pkru::allowAllValue);
+            if (ownsCompartment(*this, img, i))
+                img.compartmentAt(i).domain = Pkru(Pkru::allowAllValue);
     }
 
     void shutdown(Image &) override {}
@@ -115,7 +128,14 @@ class MpkBackend : public IsolationBackend
     void
     boot(Image &img) override
     {
-        fatal_if(img.compartmentCount() > numProtKeys - 1,
+        // The key budget binds only the compartments this backend
+        // enforces; EPT/none compartments in a mixed image don't
+        // consume protection keys at the boundary.
+        std::size_t mpkComps = 0;
+        for (std::size_t i = 0; i < img.compartmentCount(); ++i)
+            if (ownsCompartment(*this, img, i))
+                ++mpkComps;
+        fatal_if(mpkComps > numProtKeys - 1,
                  "MPK supports at most ", numProtKeys - 1,
                  " compartments (one key is reserved for the shared "
                  "domain)");
@@ -172,10 +192,16 @@ class EptBackend : public IsolationBackend
     {
         stopping = false;
         vms.clear();
+        // Slots are indexed by compartment id, but only EPT
+        // compartments become VMs with an RPC server pool; in a mixed
+        // image the other compartments' slots stay empty (no crossing
+        // is ever routed here for them).
         vms.resize(img.compartmentCount());
         Scheduler &sched = img.scheduler();
 
         for (std::size_t vmId = 0; vmId < vms.size(); ++vmId) {
+            if (!ownsCompartment(*this, img, vmId))
+                continue;
             auto &vm = vms[vmId];
             vm.serverIdle = std::make_unique<WaitQueue>(sched);
             for (int s = 0; s < serversPerVm; ++s) {
@@ -207,6 +233,40 @@ class EptBackend : public IsolationBackend
                 return true;
             },
             1'000'000);
+        // A server can still be live here: blocked inside a long RPC
+        // body (e.g. a recv() that will never complete). Destroying
+        // vms underneath it would free the rings and WaitQueues its
+        // frames reference — use-after-free on its next step. Unwind
+        // stragglers via the cancellation path instead: the throw in
+        // the body is converted to the RPC's error, the caller is
+        // woken, and the server exits its loop.
+        std::uint64_t cancels = 0;
+        for (Thread *t : serverThreads) {
+            if (t->state() != Thread::State::Finished) {
+                img.scheduler().cancel(t);
+                ++cancels;
+            }
+        }
+        if (cancels)
+            img.machine().bump("gate.ept.shutdownCancels", cancels);
+        // RPCs still queued in a ring (all servers were busy or
+        // cancelled) would leave their callers blocked on doneWait
+        // forever: fail each one and wake its caller before the rings
+        // are destroyed. The callers observe the cancellation and
+        // unwind.
+        std::uint64_t drained = 0;
+        for (auto &vm : vms) {
+            while (!vm.ring.empty()) {
+                Rpc *rpc = vm.ring.front();
+                vm.ring.pop_front();
+                rpc->error = std::make_exception_ptr(ThreadCancelled{});
+                rpc->done = true;
+                rpc->doneWait->wakeAll();
+                ++drained;
+            }
+        }
+        if (drained)
+            img.machine().bump("gate.ept.shutdownDrained", drained);
         serverThreads.clear();
         vms.clear();
     }
@@ -236,6 +296,8 @@ class EptBackend : public IsolationBackend
         rpc.doneWait = &doneWait;
 
         auto &vm = vms[static_cast<std::size_t>(to)];
+        panic_if(!vm.serverIdle,
+                 "EPT RPC routed to a compartment without a VM");
         vm.ring.push_back(&rpc);
         vm.serverIdle->wakeOne();
 

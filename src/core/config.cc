@@ -269,6 +269,21 @@ SafetyConfig::compartment(const std::string &name) const
     fatal("unknown compartment '", name, "'");
 }
 
+std::vector<Mechanism>
+SafetyConfig::mechanisms() const
+{
+    std::vector<Mechanism> out;
+    for (const CompartmentSpec &c : compartments) {
+        bool seen = false;
+        for (Mechanism m : out)
+            if (m == c.mechanism)
+                seen = true;
+        if (!seen)
+            out.push_back(c.mechanism);
+    }
+    return out;
+}
+
 std::size_t
 SafetyConfig::defaultCompartment() const
 {

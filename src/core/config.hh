@@ -122,6 +122,13 @@ struct SafetyConfig
 
     /** The default compartment's index (fatal if none declared). */
     std::size_t defaultCompartment() const;
+
+    /**
+     * Distinct isolation mechanisms declared across compartments, in
+     * first-appearance order. A heterogeneous (mixed-mechanism) image
+     * has more than one entry; each gets its own backend instance.
+     */
+    std::vector<Mechanism> mechanisms() const;
 };
 
 } // namespace flexos

@@ -43,7 +43,47 @@ Image::Image(Machine &m, Scheduler &s, SafetyConfig config,
         libMults[lib] = hardeningMultiplier(set, mach.timing);
     }
 
-    backend = makeBackend(cfg.compartments[0].mechanism, cfg.mpkGate);
+    // One backend per distinct mechanism; each compartment's boundary
+    // is enforced by its own mechanism's backend (per-boundary knob).
+    for (Mechanism m : cfg.mechanisms())
+        backends.push_back(makeBackend(m, cfg.mpkGate));
+    compBackends.resize(comps.size(), nullptr);
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+        for (auto &b : backends)
+            if (b->mechanism() == comps[i]->spec.mechanism)
+                compBackends[i] = b.get();
+        panic_if(!compBackends[i], "compartment without a backend");
+    }
+}
+
+IsolationBackend &
+Image::backendFor(int comp) const
+{
+    panic_if(comp < 0 ||
+                 static_cast<std::size_t>(comp) >= compBackends.size(),
+             "compartment index out of range");
+    return *compBackends[static_cast<std::size_t>(comp)];
+}
+
+IsolationBackend &
+Image::backendOf(Mechanism m) const
+{
+    for (const auto &b : backends)
+        if (b->mechanism() == m)
+            return *b;
+    fatal("image instantiates no '", mechanismName(m), "' backend");
+}
+
+std::string
+Image::backendNames() const
+{
+    std::string out;
+    for (const auto &b : backends) {
+        if (!out.empty())
+            out += "+";
+        out += b->name();
+    }
+    return out;
 }
 
 Image::~Image()
@@ -110,7 +150,14 @@ Image::boot()
                                                       sharedArena.size());
 
     registerRegions();
-    backend->boot(*this);
+    for (auto &b : backends)
+        b->boot(*this);
+
+    // Reap a thread's simulated compartment stacks the moment it
+    // finishes; long-running images would otherwise leak one memMap
+    // region pair per (thread, compartment) ever seen.
+    threadExitListener = sched.addThreadExitListener(
+        [this](Thread &t) { reapSimStacks(t.id()); });
 
     // Boot-time cost: section protection, key setup, backend init.
     mach.consume(50'000 + 10'000 * comps.size());
@@ -123,7 +170,12 @@ Image::shutdown()
 {
     if (!booted)
         return;
-    backend->shutdown(*this);
+    // Tear the backends down in reverse boot order; each only touches
+    // the compartments it owns (EPT stops its RPC servers, etc.).
+    for (auto it = backends.rbegin(); it != backends.rend(); ++it)
+        (*it)->shutdown(*this);
+    sched.removeThreadExitListener(threadExitListener);
+    threadExitListener = -1;
     unregisterRegions();
     booted = false;
 }
@@ -202,7 +254,11 @@ Image::resolveCallee(const std::string &lib, int from) const
         fatal_if(!info.tcb, "library '", lib, "' not in the image");
         return from; // unassigned TCB service: local to every caller
     }
-    if (reg.get(lib).tcb && backend->replicatesTcb())
+    // TCB replication is a property of the *caller's* compartment: a
+    // compartment whose mechanism duplicates the kernel (EPT VMs) has
+    // its own local copy; callers under non-replicating mechanisms
+    // cross into the TCB library's home compartment.
+    if (reg.get(lib).tcb && backendFor(from).replicatesTcb())
         return from;
     return it->second;
 }
@@ -227,7 +283,7 @@ void
 Image::checkEntry(const std::string &lib, const char *fnName,
                   int to) const
 {
-    bool enforce = backend->checksEntryPoints() ||
+    bool enforce = backendFor(to).checksEntryPoints() ||
                    comps[static_cast<std::size_t>(to)]->spec.hardenedWith(
                        Hardening::Cfi);
     if (!enforce)
@@ -314,17 +370,35 @@ Image::simStackFor(int threadId, int comp)
     return pos->second;
 }
 
+void
+Image::reapSimStacks(int threadId)
+{
+    // (threadId, comp) keys sort by thread id first, so a thread's
+    // stacks are one contiguous map range.
+    auto it = simStacks.lower_bound({threadId, 0});
+    while (it != simStacks.end() && it->first.first == threadId) {
+        mach.memMap.remove(it->second.mem.get());
+        if (cfg.stackSharing == StackSharing::Dss)
+            mach.memMap.remove(it->second.mem.get() +
+                               SimStack::stackBytes);
+        it = simStacks.erase(it);
+        mach.bump("image.simStackReaps");
+    }
+}
+
 std::string
 Image::linkerScript() const
 {
     std::ostringstream oss;
-    oss << "/* FlexOS generated linker script (backend: "
-        << backend->name() << ") */\n";
+    oss << "/* FlexOS generated linker script (backends: "
+        << backendNames() << ") */\n";
     oss << "SECTIONS\n{\n";
     for (const auto &c : comps) {
         const std::string &n = c->spec.name;
         oss << "    /* compartment " << c->id << " '" << n << "' key "
-            << int(c->key) << " */\n";
+            << int(c->key) << " mechanism "
+            << mechanismName(c->spec.mechanism) << " gate "
+            << backendFor(c->id).name() << " */\n";
         oss << "    .text." << n << "    : { *(.text." << n << ") }\n";
         oss << "    .rodata." << n << "  : { *(.rodata." << n << ") }\n";
         oss << "    .data." << n << "    : { *(.data." << n

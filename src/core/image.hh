@@ -5,8 +5,11 @@
  *
  * Built by the Toolchain from a SafetyConfig + LibraryRegistry, the
  * image owns the compartments (keys, heaps, static sections), the
- * shared heap, the DSS stack pool, the backend, and the gate dispatch
- * that library code calls through FLEXOS gates.
+ * shared heap, the DSS stack pool, one isolation backend per mechanism
+ * present in the configuration, and the gate dispatch that library
+ * code calls through FLEXOS gates. The mechanism is a per-boundary
+ * knob: each crossing is routed through the *callee* compartment's
+ * backend, so a single image can mix e.g. MPK and EPT compartments.
  */
 
 #ifndef FLEXOS_CORE_IMAGE_HH
@@ -154,13 +157,16 @@ class Image
             return fn();
         }
         checkEntry(calleeLib, fnName, to);
+        // Per-boundary dispatch: the *callee* compartment's mechanism
+        // decides how this crossing is enforced.
+        IsolationBackend &be = backendFor(to);
         if constexpr (std::is_void_v<R>) {
-            backend->crossCall(*this, from, to, calleeLib, fnName, mult,
-                               [&] { fn(); });
+            be.crossCall(*this, from, to, calleeLib, fnName, mult,
+                         [&] { fn(); });
         } else {
             std::optional<R> result;
-            backend->crossCall(*this, from, to, calleeLib, fnName, mult,
-                               [&] { result.emplace(fn()); });
+            be.crossCall(*this, from, to, calleeLib, fnName, mult,
+                         [&] { result.emplace(fn()); });
             return std::move(*result);
         }
     }
@@ -233,7 +239,20 @@ class Image
     Scheduler &scheduler() { return sched; }
     const SafetyConfig &config() const { return cfg; }
     const LibraryRegistry &registry() const { return reg; }
-    IsolationBackend &isolationBackend() { return *backend; }
+
+    /** @name Per-boundary backends. @{ */
+    /** The backend enforcing a compartment's boundary. */
+    IsolationBackend &backendFor(int comp) const;
+    /** The instantiated backend for a mechanism (fatal if absent). */
+    IsolationBackend &backendOf(Mechanism m) const;
+    /** One backend per distinct mechanism, first-appearance order. */
+    std::size_t backendCount() const { return backends.size(); }
+    /** Joined backend names, e.g. "intel-mpk(dss)+vm-ept". */
+    std::string backendNames() const;
+    /** @} */
+
+    /** Drop a finished thread's simulated stacks and their regions. */
+    void reapSimStacks(int threadId);
 
   private:
     friend class Toolchain;
@@ -251,7 +270,12 @@ class Image
 
     std::vector<std::unique_ptr<Compartment>> comps;
     std::map<std::string, int> libToComp;
-    std::unique_ptr<IsolationBackend> backend;
+    /** One backend per distinct mechanism in the config. */
+    std::vector<std::unique_ptr<IsolationBackend>> backends;
+    /** Compartment index -> its mechanism's backend. */
+    std::vector<IsolationBackend *> compBackends;
+    /** Scheduler thread-exit listener id (sim-stack reaping). */
+    int threadExitListener = -1;
 
     std::vector<char> sharedArena;
     std::unique_ptr<TlsfAllocator> sharedHeapAlloc;

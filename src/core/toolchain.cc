@@ -23,25 +23,41 @@ Toolchain::validate(const SafetyConfig &cfg) const
     fatal_if(defaults == 0, "no default compartment declared");
     fatal_if(defaults > 1, "multiple default compartments declared");
 
-    // The prototype instantiates one mechanism per image (paper 4).
-    Mechanism mech = cfg.compartments[0].mechanism;
+    // Mechanisms are a per-boundary knob: a mixed image instantiates
+    // one backend per distinct mechanism. Probe each once so per-
+    // mechanism rules (key budgets, TCB replication) can be checked
+    // without booting an image.
+    std::map<Mechanism, std::unique_ptr<IsolationBackend>> probes;
     for (const CompartmentSpec &c : cfg.compartments)
-        fatal_if(c.mechanism != mech,
-                 "mixed isolation mechanisms in one image: '",
-                 mechanismName(mech), "' vs '",
-                 mechanismName(c.mechanism), "' (unsupported by the "
-                 "prototype)");
+        if (!probes.count(c.mechanism))
+            probes.emplace(c.mechanism,
+                           makeBackend(c.mechanism, cfg.mpkGate));
 
     // MPK key budget: 15 compartments + 1 shared key (paper 4.1).
-    if (mech == Mechanism::IntelMpk || mech == Mechanism::CubicleMpk) {
-        fatal_if(cfg.compartments.size() > numProtKeys - 1,
-                 "MPK supports at most ", numProtKeys - 1,
-                 " compartments");
-    }
+    // Only key-consuming compartments count against the MPK budget;
+    // EPT/none compartments in a mixed image don't occupy a *boundary*
+    // key. The simulated region model still tags every compartment's
+    // memory with a distinct key, so the total is capped at 15 too
+    // (lifting that needs key virtualization — see ROADMAP).
+    std::size_t mpkComps = 0;
+    for (const CompartmentSpec &c : cfg.compartments)
+        if (c.mechanism == Mechanism::IntelMpk ||
+            c.mechanism == Mechanism::CubicleMpk)
+            ++mpkComps;
+    fatal_if(mpkComps > numProtKeys - 1, "MPK supports at most ",
+             numProtKeys - 1, " compartments");
+    fatal_if(cfg.compartments.size() > numProtKeys - 1,
+             "the key-tagged region model supports at most ",
+             numProtKeys - 1,
+             " compartments per image (one key is reserved for the "
+             "shared domain)");
 
     // Library assignments.
     std::set<std::string> assigned;
-    auto backendProbe = makeBackend(mech, cfg.mpkGate);
+    bool allReplicateTcb = true;
+    for (const auto &[m, probe] : probes)
+        if (!probe->replicatesTcb())
+            allReplicateTcb = false;
     std::string defaultName;
     for (const CompartmentSpec &c : cfg.compartments)
         if (c.isDefault)
@@ -54,12 +70,15 @@ Toolchain::validate(const SafetyConfig &cfg) const
         fatal_if(!assigned.insert(lib).second, "library '", lib,
                  "' assigned twice");
 
-        // TCB components stay in the trusted compartment unless the
-        // backend replicates the kernel into every compartment (4.2).
-        if (reg.get(lib).tcb && !backendProbe->replicatesTcb()) {
+        // TCB components stay in the trusted compartment unless every
+        // mechanism in the image replicates the kernel into its
+        // compartments (4.2): callers under any non-replicating
+        // mechanism cross into the TCB library's home compartment, so
+        // that home must be the trusted one.
+        if (reg.get(lib).tcb && !allReplicateTcb) {
             fatal_if(compName != defaultName, "TCB library '", lib,
                      "' must live in the default (trusted) compartment "
-                     "under ", mechanismName(mech));
+                     "when a non-replicating mechanism is present");
         }
     }
 
@@ -96,24 +115,25 @@ Toolchain::build(Machine &m, Scheduler &s, const SafetyConfig &cfg)
                 continue;
 
             std::ostringstream line;
+            int callerComp = img->compartmentIndexOf(lib);
+            int calleeComp =
+                inImage ? img->compartmentIndexOf(callee) : callerComp;
+            // The caller's mechanism decides whether the TCB is local
+            // (replicated); the *callee's* mechanism supplies the gate.
             bool crosses =
-                inImage &&
-                img->compartmentIndexOf(lib) !=
-                    img->compartmentIndexOf(callee) &&
+                inImage && callerComp != calleeComp &&
                 !(calleeInfo.tcb &&
-                  img->isolationBackend().replicatesTcb());
+                  img->backendFor(callerComp).replicatesTcb());
             if (crosses) {
                 line << lib << ": flexos_gate(" << callee
-                     << ", ...) -> " << img->isolationBackend().name()
-                     << " gate ["
+                     << ", ...) -> "
+                     << img->backendFor(calleeComp).name() << " gate ["
                      << cfg.compartments[static_cast<std::size_t>(
-                                             img->compartmentIndexOf(
-                                                 lib))]
+                                             callerComp)]
                             .name
                      << " -> "
                      << cfg.compartments[static_cast<std::size_t>(
-                                             img->compartmentIndexOf(
-                                                 callee))]
+                                             calleeComp)]
                             .name
                      << "]";
                 ++rep.gatesInserted;
@@ -142,7 +162,7 @@ Toolchain::build(Machine &m, Scheduler &s, const SafetyConfig &cfg)
     }
 
     img->boot();
-    rep.backendName = img->isolationBackend().name();
+    rep.backendName = img->backendNames();
     rep.linkerScript = img->linkerScript();
     lastReport = std::move(rep);
     return img;

@@ -25,6 +25,7 @@ namespace flexos {
 /** What the build step did — the inspectable transformation record. */
 struct BuildReport
 {
+    /** Instantiated backends, joined (e.g. "intel-mpk(dss)+vm-ept"). */
     std::string backendName;
     std::string linkerScript;
     /** One line per rewritten call site / annotation. */
@@ -43,10 +44,13 @@ class Toolchain
 
     /**
      * Check a configuration for user errors. Throws FatalError on:
-     * mixed mechanisms, missing/duplicate default compartment, unknown
-     * libraries or compartments, double library assignment, MPK key
-     * exhaustion, or TCB libraries placed outside the trusted
-     * compartment under a non-replicating backend.
+     * missing/duplicate default compartment, unknown libraries or
+     * compartments, double library assignment, MPK key exhaustion
+     * (counting only key-consuming compartments), or TCB libraries
+     * placed outside the trusted compartment when any compartment's
+     * mechanism does not replicate the kernel. Mixed-mechanism
+     * configurations are legal: each compartment's boundary is
+     * enforced by its own mechanism's backend.
      */
     void validate(const SafetyConfig &cfg) const;
 

@@ -15,6 +15,18 @@ ConfigPoint::compartments() const
     return static_cast<int>(blocks.size());
 }
 
+int
+ConfigPoint::mechanismRankOf(std::size_t c) const
+{
+    if (blockMechanism.empty())
+        return mechanismRank;
+    panic_if(c >= partition.size(), "component index out of range");
+    auto block = static_cast<std::size_t>(partition[c]);
+    panic_if(block >= blockMechanism.size(),
+             "partition block without a mechanism assignment");
+    return blockMechanism[block];
+}
+
 bool
 refines(const std::vector<int> &a, const std::vector<int> &b)
 {
@@ -75,9 +87,26 @@ compareSafety(const ConfigPoint &a, const ConfigPoint &b)
     }
     acc = combine(acc, aSub, bSub);
 
-    // 3) Mechanism strength and 4) data-isolation strength.
-    acc = combine(acc, a.mechanismRank <= b.mechanismRank,
-                  b.mechanismRank <= a.mechanismRank);
+    // 3) Mechanism strength, component-wise: with per-block mechanisms
+    // (mixed images) a config dominates only if every component's
+    // boundary is at least as strong. Homogeneous configs degenerate
+    // to the scalar-rank comparison.
+    bool aMechLe = true, bMechLe = true;
+    if (a.partition.empty()) {
+        aMechLe = a.mechanismRank <= b.mechanismRank;
+        bMechLe = b.mechanismRank <= a.mechanismRank;
+    }
+    for (std::size_t c = 0; c < a.partition.size(); ++c) {
+        int ra = a.mechanismRankOf(c);
+        int rb = b.mechanismRankOf(c);
+        if (ra > rb)
+            aMechLe = false;
+        if (rb > ra)
+            bMechLe = false;
+    }
+    acc = combine(acc, aMechLe, bMechLe);
+
+    // 4) Data-isolation strength.
     acc = combine(acc, a.sharingRank <= b.sharingRank,
                   b.sharingRank <= a.sharingRank);
 

@@ -33,8 +33,19 @@ struct ConfigPoint
     std::vector<unsigned> hardening;
     /** Mechanism strength rank (none=0 < mpk=1 < ept=2). */
     int mechanismRank = 1;
+    /**
+     * Per-block mechanism rank for mixed-mechanism images, indexed by
+     * partition block id (none=0 < mpk=1 < ept=2). Empty means the
+     * image is homogeneous at mechanismRank. When set, the safety
+     * comparison is component-wise: every component's boundary must be
+     * at least as strong for one config to dominate the other.
+     */
+    std::vector<int> blockMechanism;
     /** Data-isolation rank (shared stack=0 < dss=1 < private+heap=2). */
     int sharingRank = 1;
+
+    /** Mechanism rank protecting component c's compartment boundary. */
+    int mechanismRankOf(std::size_t c) const;
 
     std::string label;
 

@@ -48,6 +48,54 @@ fig6Space()
     return out;
 }
 
+namespace {
+
+/** Mechanism rank (poset order) -> config-file mechanism name. */
+const char *
+mechanismNameOfRank(int rank)
+{
+    switch (rank) {
+      case 0:
+        return "none";
+      case 1:
+        return "intel-mpk";
+      case 2:
+        return "vm-ept";
+    }
+    fatal("unknown mechanism rank ", rank);
+}
+
+} // namespace
+
+std::vector<ConfigPoint>
+mixedMechanismSpace()
+{
+    std::vector<ConfigPoint> out;
+    for (const auto &partition : fig6Partitions()) {
+        ConfigPoint base;
+        base.partition = partition;
+        int nBlocks = base.compartments();
+        // Every assignment from {none, mpk, ept}^nBlocks.
+        int total = 1;
+        for (int b = 0; b < nBlocks; ++b)
+            total *= 3;
+        for (int code = 0; code < total; ++code) {
+            ConfigPoint p;
+            p.partition = partition;
+            p.hardening.assign(partition.size(), 0);
+            p.blockMechanism.resize(static_cast<std::size_t>(nBlocks));
+            int rest = code;
+            for (int b = 0; b < nBlocks; ++b) {
+                p.blockMechanism[static_cast<std::size_t>(b)] = rest % 3;
+                rest /= 3;
+            }
+            p.sharingRank = 1; // DSS
+            out.push_back(std::move(p));
+        }
+    }
+    return out;
+}
+
 SafetyConfig
 toSafetyConfig(const ConfigPoint &point, const std::string &appLib)
 {
@@ -61,7 +109,12 @@ toSafetyConfig(const ConfigPoint &point, const std::string &appLib)
     int appBlock = point.partition[0];
     for (int b = 0; b < nBlocks; ++b) {
         cfg << "- comp" << b + 1 << ":\n";
-        cfg << "    mechanism: intel-mpk\n";
+        const char *mech =
+            point.blockMechanism.empty()
+                ? "intel-mpk"
+                : mechanismNameOfRank(
+                      point.blockMechanism[static_cast<std::size_t>(b)]);
+        cfg << "    mechanism: " << mech << "\n";
         if (b == appBlock)
             cfg << "    default: True\n";
     }
@@ -103,6 +156,16 @@ pointLabel(const ConfigPoint &point, const std::string &appLib)
     for (std::size_t c = 0; c < comps.size(); ++c)
         oss << (point.hardening[c] ? "●" : "○");
     oss << "]";
+    if (!point.blockMechanism.empty()) {
+        static const char *short_[] = {"none", "mpk", "ept"};
+        oss << " {";
+        for (std::size_t b = 0; b < point.blockMechanism.size(); ++b) {
+            if (b)
+                oss << "/";
+            oss << short_[point.blockMechanism[b]];
+        }
+        oss << "}";
+    }
     return oss.str();
 }
 

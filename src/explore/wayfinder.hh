@@ -33,8 +33,19 @@ const std::vector<std::vector<int>> &fig6Partitions();
 std::vector<ConfigPoint> fig6Space();
 
 /**
+ * The mixed-mechanism dimension of the configuration space: the five
+ * Figure 8 partitions crossed with every per-block mechanism
+ * assignment from {none, intel-mpk, vm-ept} (no hardening, DSS). A
+ * homogeneous assignment reproduces a fig6-style point; the rest are
+ * heterogeneous images where each boundary picks its own mechanism.
+ */
+std::vector<ConfigPoint> mixedMechanismSpace();
+
+/**
  * Materialize a sweep point as a full safety configuration for the
- * given application (MPK + DSS, as Figure 6 fixes).
+ * given application (DSS, as Figure 6 fixes). Homogeneous points map
+ * every compartment to intel-mpk; points carrying blockMechanism get
+ * one mechanism per compartment (none/intel-mpk/vm-ept by rank).
  */
 SafetyConfig toSafetyConfig(const ConfigPoint &point,
                             const std::string &appLib);

@@ -59,22 +59,23 @@ Machine::checkAccess(const void *p, std::size_t size, AccessType at)
     if (enforcement == Enforcement::Off)
         return;
 
-    const MemRegion *r = memMap.find(p);
-    if (!r)
-        return; // Unregistered memory is simulator-internal.
-
-    // A multi-byte access must stay within one region to be well formed;
-    // straddling a region boundary is checked against the first region
-    // only, as real paging would fault on the first offending page.
-    (void)size;
-
-    if (pkru.permits(r->key, at))
+    // Every registered region the access touches must be permitted;
+    // real paging faults on the first offending page even when the
+    // access *starts* in unregistered (or permitted) memory and only
+    // extends into a denied region. Unregistered bytes are
+    // simulator-internal and pass.
+    const MemRegion *denied = nullptr;
+    memMap.forEachOverlap(p, size, [&](const MemRegion &r) {
+        if (!denied && !pkru.permits(r.key, at))
+            denied = &r;
+    });
+    if (!denied)
         return;
 
     ++violations;
     bump("mmu.violations");
     if (enforcement == Enforcement::Enforcing)
-        throw ProtectionFault(p, r->key, at, r->name);
+        throw ProtectionFault(p, denied->key, at, denied->name);
 }
 
 void

@@ -104,9 +104,10 @@ class Machine
     Pkru pkru;
 
     /**
-     * MMU access check: find the region covering p; if it carries a key
-     * the current PKRU does not permit, fault per the enforcement mode.
-     * Unregistered memory is simulator-internal and always passes.
+     * MMU access check: every registered region overlapping
+     * [p, p+size) must carry a key the current PKRU permits; the first
+     * denied region faults per the enforcement mode. Unregistered
+     * memory is simulator-internal and always passes.
      */
     void checkAccess(const void *p, std::size_t size, AccessType at);
 

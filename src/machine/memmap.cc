@@ -55,4 +55,15 @@ MemoryMap::find(const void *p) const
     return it->second.contains(addr) ? &it->second : nullptr;
 }
 
+const MemRegion *
+MemoryMap::findOverlap(const void *p, std::size_t size) const
+{
+    const MemRegion *first = nullptr;
+    forEachOverlap(p, size, [&](const MemRegion &r) {
+        if (!first)
+            first = &r;
+    });
+    return first;
+}
+
 } // namespace flexos

@@ -55,6 +55,34 @@ class MemoryMap
     /** Find the region covering p, or nullptr if unregistered. */
     const MemRegion *find(const void *p) const;
 
+    /**
+     * First region overlapping [p, p+size), or nullptr. Unlike find(),
+     * this sees regions the access merely extends into — an access
+     * starting in unregistered memory that runs into a registered
+     * region is still reported.
+     */
+    const MemRegion *findOverlap(const void *p, std::size_t size) const;
+
+    /**
+     * Visit every region overlapping [p, p+size) in address order.
+     * Fn is called as fn(const MemRegion &).
+     */
+    template <typename Fn>
+    void
+    forEachOverlap(const void *p, std::size_t size, Fn &&fn) const
+    {
+        auto addr = reinterpret_cast<std::uintptr_t>(p);
+        auto end = addr + size;
+        auto it = regions.upper_bound(addr);
+        if (it != regions.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.base + prev->second.size > addr)
+                fn(prev->second);
+        }
+        for (; it != regions.end() && it->second.base < end; ++it)
+            fn(it->second);
+    }
+
     /** Number of registered regions. */
     std::size_t count() const { return regions.size(); }
 

@@ -79,21 +79,64 @@ Scheduler::cancelAll()
     // rest of the world is still alive; the destructor's own call is a
     // last-resort backstop where only Machine and the threads are
     // guaranteed live. Backend hooks are disabled either way.
-    cancelling = true;
     onSwitch = nullptr;
     onThreadCreate = nullptr;
-    for (auto &t : threads) {
-        if (!t->started_) {
-            t->state_ = Thread::State::Finished; // nothing on its stack
-            continue;
+    exitListeners.clear();
+    for (auto &t : threads)
+        cancel(t.get());
+}
+
+int
+Scheduler::addThreadExitListener(std::function<void(Thread &)> fn)
+{
+    int id = nextListenerId++;
+    exitListeners.emplace_back(id, std::move(fn));
+    return id;
+}
+
+void
+Scheduler::removeThreadExitListener(int id)
+{
+    for (auto it = exitListeners.begin(); it != exitListeners.end();
+         ++it) {
+        if (it->first == id) {
+            exitListeners.erase(it);
+            return;
         }
-        // A fiber may swallow the cancellation with catch(...) and
-        // suspend again; bound the retries to avoid livelock.
-        for (int tries = 0;
-             t->state_ != Thread::State::Finished && tries < 8; ++tries)
-            switchTo(t.get());
     }
-    cancelling = false;
+}
+
+void
+Scheduler::notifyThreadExit(Thread &t)
+{
+    // Listener order: most-recently registered first, and robust
+    // against a listener unregistering others from within the call.
+    for (std::size_t i = exitListeners.size(); i-- > 0;) {
+        if (i >= exitListeners.size())
+            continue;
+        exitListeners[i].second(t);
+    }
+}
+
+void
+Scheduler::cancel(Thread *t)
+{
+    panic_if(running, "Scheduler::cancel from inside a fiber");
+    if (t->state_ == Thread::State::Finished)
+        return;
+    if (!t->started_) {
+        t->state_ = Thread::State::Finished; // nothing on its stack
+        notifyThreadExit(*t);
+        return;
+    }
+    bool wasCancelling = cancelling;
+    cancelling = true;
+    // A fiber may swallow the cancellation with catch(...) and
+    // suspend again; bound the retries to avoid livelock.
+    for (int tries = 0;
+         t->state_ != Thread::State::Finished && tries < 8; ++tries)
+        switchTo(t);
+    cancelling = wasCancelling;
 }
 
 Thread *
@@ -146,6 +189,9 @@ Scheduler::threadMain()
         self->error_ = "unknown exception";
     }
     self->state_ = Thread::State::Finished;
+    // Per-thread teardown (still on this fiber's stack, so listeners
+    // may not suspend): images reap the thread's simulated stacks here.
+    notifyThreadExit(*self);
     for (Thread *j : self->joiners)
         wake(j);
     self->joiners.clear();
@@ -190,7 +236,11 @@ Scheduler::switchTo(Thread *t)
     activeScheduler = prevActive;
 
     // Back in the scheduler (TCB): run unrestricted and charged. This
-    // also covers threads that returned without passing switchOut().
+    // also covers threads that returned without passing switchOut() —
+    // they bypass the running=nullptr reset, so clear the stale
+    // pointer here.
+    if (running == t && t->state_ == Thread::State::Finished)
+        running = nullptr;
     mach.pkru = Pkru(Pkru::allowAllValue);
     mach.chargingEnabled = true;
     mach.workMultiplier = 1.0;

@@ -121,6 +121,21 @@ class Scheduler
     std::function<void(Thread *prev, Thread *next)> onSwitch;
     /** @} */
 
+    /** @name Thread-exit listeners. @{ */
+    /**
+     * Register fn to run once whenever a thread finishes (returns,
+     * fails, or is cancelled), on the dying fiber's own stack. Images
+     * hook this to reap per-thread resources (simulated compartment
+     * stacks). Multiple listeners may coexist (several images on one
+     * scheduler); each must unregister with the returned id before its
+     * captured state dies. @return the listener id.
+     */
+    int addThreadExitListener(std::function<void(Thread &)> fn);
+
+    /** Remove a listener by id (no-op for unknown/already-removed). */
+    void removeThreadExitListener(int id);
+    /** @} */
+
     /** Create a thread; it becomes runnable immediately. */
     Thread *spawn(std::string name, Thread::Entry entry,
                   std::size_t stackBytes = 256 * 1024);
@@ -161,6 +176,15 @@ class Scheduler
      */
     void cancelAll();
 
+    /**
+     * Cancel and unwind one fiber: it is resumed with the cancellation
+     * flag set so its next suspension point throws ThreadCancelled.
+     * Unlike cancelAll() the backend hooks stay installed — per-thread
+     * teardown (onThreadExit) still runs. Must be called from the
+     * scheduler context, not from inside a fiber.
+     */
+    void cancel(Thread *t);
+
     /** The thread currently executing, or null in the scheduler itself. */
     Thread *current() { return running; }
 
@@ -187,9 +211,14 @@ class Scheduler
     /** Move due sleepers to the run queue; advance the clock if idle. */
     bool serviceSleepers(bool mayAdvanceClock);
 
+    void notifyThreadExit(Thread &t);
+
     Machine &mach;
     std::vector<std::unique_ptr<Thread>> threads;
     std::deque<Thread *> runQueue;
+    std::vector<std::pair<int, std::function<void(Thread &)>>>
+        exitListeners;
+    int nextListenerId = 1;
 
     struct SleeperOrder
     {

@@ -201,8 +201,10 @@ TEST_F(CoreFixture, AnnotationCountMatchesTable1)
     EXPECT_EQ(tc.report().annotationsReplaced, 44);
 }
 
-TEST_F(CoreFixture, ValidateRejectsMixedMechanisms)
+TEST_F(CoreFixture, ValidateAcceptsMixedMechanisms)
 {
+    // The mechanism is a per-boundary knob: an image may mix MPK and
+    // EPT compartments, each boundary enforced by its own backend.
     SafetyConfig cfg = SafetyConfig::parse(R"(
 compartments:
 - c1:
@@ -213,7 +215,44 @@ compartments:
 libraries:
 - lwip: c2
 )");
-    EXPECT_THROW(tc.validate(cfg), FatalError);
+    EXPECT_NO_THROW(tc.validate(cfg));
+}
+
+TEST_F(CoreFixture, MixedMpkBudgetCountsOnlyKeyedCompartments)
+{
+    auto make = [](int mpk, int ept) {
+        std::string text = "compartments:\n";
+        for (int i = 0; i < mpk; ++i) {
+            text += "- m" + std::to_string(i) + ":\n";
+            text += "    mechanism: intel-mpk\n";
+            if (i == 0)
+                text += "    default: True\n";
+        }
+        for (int i = 0; i < ept; ++i) {
+            text += "- e" + std::to_string(i) + ":\n";
+            text += "    mechanism: vm-ept\n";
+        }
+        text += "libraries:\n- lwip: m0\n";
+        return SafetyConfig::parse(text);
+    };
+    // EPT compartments don't tighten the MPK budget: 14 MPK + 1 EPT is
+    // as legal as 15 pure-MPK compartments.
+    EXPECT_NO_THROW(tc.validate(make(14, 1)));
+    EXPECT_NO_THROW(tc.validate(make(15, 0)));
+    // A 16th MPK compartment exhausts the key budget...
+    EXPECT_THROW(tc.validate(make(16, 0)), FatalError);
+    // ...and the simulated region model caps *total* compartments at
+    // 15 (every compartment's memory is key-tagged; key 15 is the
+    // shared domain), so 15 MPK + 1 EPT is rejected with the
+    // total-cap diagnostic rather than silently aliasing the shared
+    // key.
+    try {
+        tc.validate(make(15, 1));
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("region model"),
+                  std::string::npos);
+    }
 }
 
 TEST_F(CoreFixture, ValidateRejectsMissingDefault)

@@ -251,6 +251,124 @@ TEST(Wayfinder, MeasuredThroughputOrdersSanely)
     EXPECT_GT(fastest, slowest * 1.5);
 }
 
+// ------------------------------------------------- mixed mechanisms
+
+TEST(CompareSafety, PerBlockMechanismsOrderComponentWise)
+{
+    // Same partition {0,1}: all-EPT dominates MPK+EPT dominates
+    // all-MPK; MPK+EPT and EPT+MPK are incomparable.
+    auto mkMech = [](std::vector<int> blocks) {
+        ConfigPoint p;
+        p.partition = {0, 1};
+        p.hardening = {0, 0};
+        p.blockMechanism = std::move(blocks);
+        return p;
+    };
+    ConfigPoint allMpk = mkMech({1, 1});
+    ConfigPoint mixed = mkMech({1, 2});
+    ConfigPoint allEpt = mkMech({2, 2});
+    ConfigPoint flipped = mkMech({2, 1});
+    EXPECT_EQ(compareSafety(allMpk, mixed), SafetyOrder::Less);
+    EXPECT_EQ(compareSafety(mixed, allEpt), SafetyOrder::Less);
+    EXPECT_EQ(compareSafety(allMpk, allEpt), SafetyOrder::Less);
+    EXPECT_EQ(compareSafety(mixed, flipped), SafetyOrder::Incomparable);
+}
+
+TEST(CompareSafety, MixedComparableWithHomogeneousScalar)
+{
+    // A scalar-rank (homogeneous) point and a per-block point compare
+    // through the same component-wise rule.
+    ConfigPoint homogeneous = mk({0, 1}, {0, 0}, /*mech=*/1);
+    ConfigPoint mixed;
+    mixed.partition = {0, 1};
+    mixed.hardening = {0, 0};
+    mixed.blockMechanism = {1, 2}; // mpk + ept
+    EXPECT_EQ(compareSafety(homogeneous, mixed), SafetyOrder::Less);
+    EXPECT_EQ(compareSafety(mixed, homogeneous), SafetyOrder::Greater);
+}
+
+TEST(Wayfinder, MixedSpaceEnumeratesPerBlockAssignments)
+{
+    auto space = wayfinder::mixedMechanismSpace();
+    // 5 partitions with {1,2,2,2,3} blocks: 3 + 9 + 9 + 9 + 27.
+    EXPECT_EQ(space.size(), 57u);
+    std::set<std::string> seen;
+    for (const auto &p : space) {
+        EXPECT_EQ(p.blockMechanism.size(),
+                  static_cast<std::size_t>(p.compartments()));
+        std::string key;
+        for (int b : p.partition)
+            key += std::to_string(b);
+        key += "|";
+        for (int m : p.blockMechanism)
+            key += std::to_string(m);
+        seen.insert(key);
+    }
+    EXPECT_EQ(seen.size(), 57u);
+}
+
+TEST(Wayfinder, MixedConfigsValidateAndMaterializeMechanisms)
+{
+    LibraryRegistry reg = LibraryRegistry::standard();
+    Toolchain tc(reg);
+    auto space = wayfinder::mixedMechanismSpace();
+    int heterogeneous = 0;
+    for (const auto &p : space) {
+        SafetyConfig cfg = wayfinder::toSafetyConfig(p, "libredis");
+        EXPECT_NO_THROW(tc.validate(cfg));
+        if (cfg.mechanisms().size() > 1)
+            ++heterogeneous;
+        // Each block's compartment carries its assigned mechanism.
+        for (std::size_t c = 0; c < p.partition.size(); ++c) {
+            Mechanism want =
+                p.blockMechanism[static_cast<std::size_t>(
+                    p.partition[c])] == 0
+                    ? Mechanism::None
+                    : p.blockMechanism[static_cast<std::size_t>(
+                          p.partition[c])] == 1
+                          ? Mechanism::IntelMpk
+                          : Mechanism::VmEpt;
+            EXPECT_EQ(cfg.compartments[static_cast<std::size_t>(
+                                           p.partition[c])]
+                          .mechanism,
+                      want);
+        }
+    }
+    EXPECT_GT(heterogeneous, 0);
+}
+
+TEST(Wayfinder, MixedPointMeasuresBetweenHomogeneousCorners)
+{
+    // Partition E (3 blocks): all-MPK vs net-block-on-EPT vs all-EPT.
+    ConfigPoint base;
+    base.partition = {0, 0, 1, 2};
+    base.hardening = {0, 0, 0, 0};
+    base.sharingRank = 1;
+
+    auto withMechs = [&](std::vector<int> m) {
+        ConfigPoint p = base;
+        p.blockMechanism = std::move(m);
+        return p;
+    };
+    double allMpk =
+        wayfinder::measureRedis(withMechs({1, 1, 1}), 150);
+    double netEpt =
+        wayfinder::measureRedis(withMechs({1, 1, 2}), 150);
+    double allEpt =
+        wayfinder::measureRedis(withMechs({2, 2, 2}), 150);
+    // Stronger mechanisms on more boundaries cost more.
+    EXPECT_GT(allMpk, netEpt);
+    EXPECT_GT(netEpt, allEpt);
+}
+
+TEST(Wayfinder, MixedLabelsRenderMechanisms)
+{
+    auto space = wayfinder::mixedMechanismSpace();
+    std::string label = wayfinder::pointLabel(space.back(), "libredis");
+    EXPECT_NE(label.find("{"), std::string::npos);
+    EXPECT_NE(label.find("ept"), std::string::npos);
+}
+
 TEST(Wayfinder, LabelsRenderPartitionAndHardening)
 {
     auto space = wayfinder::fig6Space();

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "machine/machine.hh"
 
 namespace flexos {
@@ -96,6 +99,55 @@ TEST(MemoryMap, OverlapPanics)
     mm.add(buf + 32, 128, 1, "a");
     EXPECT_THROW(mm.add(buf + 96, 64, 2, "b"), PanicError);
     EXPECT_THROW(mm.add(buf + 16, 32, 2, "c"), PanicError);
+}
+
+TEST(MemoryMap, FindOverlapSeesRangeNotJustFirstByte)
+{
+    MemoryMap mm;
+    char buf[256];
+    mm.add(buf + 64, 64, 2, "mid");
+    // Point lookup misses, range lookup hits.
+    EXPECT_EQ(mm.find(buf + 56), nullptr);
+    const MemRegion *r = mm.findOverlap(buf + 56, 16);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->name, "mid");
+    // A range ending exactly at the region base does not overlap.
+    EXPECT_EQ(mm.findOverlap(buf + 56, 8), nullptr);
+    // A range starting inside still overlaps.
+    EXPECT_NE(mm.findOverlap(buf + 100, 4), nullptr);
+    // A range past the end does not.
+    EXPECT_EQ(mm.findOverlap(buf + 128, 16), nullptr);
+}
+
+TEST(MemoryMap, ForEachOverlapVisitsAllRegionsInOrder)
+{
+    MemoryMap mm;
+    char buf[256];
+    mm.add(buf, 64, 1, "a");
+    mm.add(buf + 64, 64, 2, "b");
+    mm.add(buf + 192, 64, 3, "c");
+    std::vector<std::string> seen;
+    mm.forEachOverlap(buf + 32, 192, [&](const MemRegion &r) {
+        seen.push_back(r.name);
+    });
+    // Overlaps a and b fully, skips the hole, ends inside c.
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], "a");
+    EXPECT_EQ(seen[1], "b");
+    EXPECT_EQ(seen[2], "c");
+}
+
+TEST(Machine, AccessExtendingIntoDeniedRegionFaults)
+{
+    Machine m;
+    char buf[64];
+    m.memMap.add(buf + 8, 32, 3, "denied");
+    m.pkru = Pkru::allowing({0});
+    // Starts in unregistered memory, extends into the denied region.
+    EXPECT_THROW(m.checkAccess(buf, 16, AccessType::Write),
+                 ProtectionFault);
+    EXPECT_EQ(m.violations, 1u);
+    EXPECT_NO_THROW(m.checkAccess(buf, 8, AccessType::Write));
 }
 
 TEST(MemoryMap, RemoveAndRetag)

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Mixed-mechanism (heterogeneous isolation) tests: per-boundary gate
+ * dispatch through the callee compartment's backend, per-mechanism
+ * boot/shutdown, range-aware MMU checks, EPT shutdown with servers
+ * still blocked in RPC bodies, and sim-stack reaping on thread exit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/deploy.hh"
+#include "apps/iperf.hh"
+#include "core/image.hh"
+#include "core/toolchain.hh"
+
+namespace flexos {
+namespace {
+
+/** MPK default + EPT network + unisolated libc compartment. */
+const char *threeMechConfig = R"(
+compartments:
+- trusted:
+    mechanism: intel-mpk
+    default: True
+- net:
+    mechanism: vm-ept
+- loose:
+    mechanism: none
+libraries:
+- libredis: trusted
+- uksched: trusted
+- lwip: net
+- newlib: loose
+)";
+
+struct MixedFixture : ::testing::Test
+{
+    MixedFixture()
+        : scope(mach), sched(mach), reg(LibraryRegistry::standard()),
+          tc(reg)
+    {
+    }
+
+    std::unique_ptr<Image>
+    buildFrom(const std::string &text)
+    {
+        SafetyConfig cfg = SafetyConfig::parse(text);
+        cfg.heapBytes = 1 << 20;
+        cfg.sharedHeapBytes = 1 << 20;
+        return tc.build(mach, sched, cfg);
+    }
+
+    Machine mach;
+    MachineScope scope;
+    Scheduler sched;
+    LibraryRegistry reg;
+    Toolchain tc;
+};
+
+// ------------------------------------------------- per-boundary gates
+
+TEST_F(MixedFixture, BootsOneBackendPerMechanism)
+{
+    auto img = buildFrom(threeMechConfig);
+    EXPECT_EQ(img->backendCount(), 3u);
+    EXPECT_EQ(img->backendFor(0).mechanism(), Mechanism::IntelMpk);
+    EXPECT_EQ(img->backendFor(1).mechanism(), Mechanism::VmEpt);
+    EXPECT_EQ(img->backendFor(2).mechanism(), Mechanism::None);
+    EXPECT_NE(&img->backendFor(0), &img->backendFor(1));
+    EXPECT_EQ(img->backendNames(),
+              std::string("intel-mpk(dss)+vm-ept+none"));
+    img->shutdown();
+}
+
+/**
+ * The acceptance regression for per-boundary dispatch: under the old
+ * single-backend image every crossing used compartment 0's mechanism
+ * (here: all-MPK), so gate.ept and gate.none stayed zero.
+ */
+TEST_F(MixedFixture, CrossingsUseCalleeCompartmentsBackend)
+{
+    auto img = buildFrom(threeMechConfig);
+    bool done = false;
+    img->spawnIn("libredis", "t", [&] {
+        // trusted -> net: the callee is EPT-backed -> RPC gate.
+        img->gate("lwip", "recv", [] {});
+        // trusted -> loose: callee unisolated -> plain-call gate.
+        img->gate("newlib", "memcpy", [&] {
+            // loose -> trusted: callee is MPK -> MPK gate.
+            img->gate("uksched", "yield", [] {});
+        });
+        done = true;
+    });
+    sched.runUntil([&] { return done; });
+    ASSERT_TRUE(done);
+    EXPECT_EQ(mach.counter("gate.ept"), 1u);
+    EXPECT_EQ(mach.counter("gate.none"), 1u);
+    EXPECT_EQ(mach.counter("gate.mpk.dss"), 1u);
+
+    // And the per-(from, to) ledger agrees boundary by boundary.
+    const auto &xs = img->gateCrossings();
+    EXPECT_EQ(xs.at({0, 1}), 1u); // trusted -> net   (EPT)
+    EXPECT_EQ(xs.at({0, 2}), 1u); // trusted -> loose (none)
+    EXPECT_EQ(xs.at({2, 0}), 1u); // loose -> trusted (MPK)
+    img->shutdown();
+}
+
+TEST_F(MixedFixture, EptEntryCheckAppliesOnlyAtEptBoundary)
+{
+    auto img = buildFrom(threeMechConfig);
+    bool rejected = false, looseRan = false;
+    img->spawnIn("libredis", "t", [&] {
+        // Crossing into the EPT compartment validates entry points...
+        try {
+            img->gate("lwip", "internal_tcp_input", [] {});
+        } catch (const CfiViolation &) {
+            rejected = true;
+        }
+        // ...crossing into the unhardened 'none' compartment does not.
+        img->gate("newlib", "not_an_entry_point",
+                  [&] { looseRan = true; });
+    });
+    sched.runUntil([&] { return looseRan; });
+    EXPECT_TRUE(rejected);
+    EXPECT_TRUE(looseRan);
+    img->shutdown();
+}
+
+TEST_F(MixedFixture, ToolchainReportNamesPerBoundaryGates)
+{
+    auto img = buildFrom(threeMechConfig);
+    const BuildReport &rep = tc.report();
+    EXPECT_EQ(rep.backendName,
+              std::string("intel-mpk(dss)+vm-ept+none"));
+
+    // The gate plan names the callee boundary's mechanism: calls into
+    // lwip (net) are EPT RPC gates, calls into uksched (trusted) are
+    // MPK gates, calls into newlib (loose) are plain-call gates.
+    bool eptGate = false, mpkGate = false, noneGate = false;
+    for (const std::string &t : rep.transformations) {
+        if (t.find("flexos_gate(lwip") != std::string::npos &&
+            t.find("vm-ept gate") != std::string::npos)
+            eptGate = true;
+        if (t.find("flexos_gate(uksched") != std::string::npos &&
+            t.find("intel-mpk(dss) gate") != std::string::npos)
+            mpkGate = true;
+        if (t.find("flexos_gate(newlib") != std::string::npos &&
+            t.find("none gate") != std::string::npos)
+            noneGate = true;
+    }
+    EXPECT_TRUE(eptGate);
+    EXPECT_TRUE(mpkGate);
+    EXPECT_TRUE(noneGate);
+
+    // The linker script records each compartment's mechanism.
+    EXPECT_NE(rep.linkerScript.find("mechanism intel-mpk"),
+              std::string::npos);
+    EXPECT_NE(rep.linkerScript.find("mechanism vm-ept"),
+              std::string::npos);
+    EXPECT_NE(rep.linkerScript.find("backends: intel-mpk(dss)+vm-ept"),
+              std::string::npos);
+    img->shutdown();
+}
+
+TEST_F(MixedFixture, IsolationStillHoldsAcrossMixedBoundaries)
+{
+    auto img = buildFrom(threeMechConfig);
+    // EPT compartment memory is still keyed: an MPK-compartment thread
+    // cannot read lwip's private heap directly.
+    int *secret = nullptr;
+    bool faulted = false, done = false;
+    img->spawnIn("libredis", "t", [&] {
+        img->gate("lwip", "recv", [&] {
+            secret = static_cast<int *>(img->heapOf("lwip").alloc(16));
+            img->store(secret, 7);
+        });
+        try {
+            img->load(secret);
+        } catch (const ProtectionFault &) {
+            faulted = true;
+        }
+        done = true;
+    });
+    sched.runUntil([&] { return done; });
+    EXPECT_TRUE(faulted);
+    img->shutdown();
+}
+
+// ---------------------------------------------- range-aware MMU check
+
+TEST_F(MixedFixture, CheckAccessCatchesWriteExtendingIntoDeniedRegion)
+{
+    // Regression: the old point lookup consulted only the region
+    // containing the first byte, so a 16-byte write starting 8 bytes
+    // before a denied region sailed through.
+    alignas(16) static char arena[128];
+    mach.memMap.add(arena + 8, 64, 3, "denied");
+    mach.pkru = Pkru::allowing({0});
+    EXPECT_THROW(mach.checkAccess(arena, 16, AccessType::Write),
+                 ProtectionFault);
+    EXPECT_EQ(mach.violations, 1u);
+    // The same access entirely before the region passes.
+    EXPECT_NO_THROW(mach.checkAccess(arena, 8, AccessType::Write));
+    mach.memMap.remove(arena + 8);
+}
+
+TEST_F(MixedFixture, CheckAccessCrossesPermittedIntoDeniedRegion)
+{
+    alignas(16) static char arena[128];
+    mach.memMap.add(arena, 64, 0, "mine");
+    mach.memMap.add(arena + 64, 64, 3, "theirs");
+    mach.pkru = Pkru::allowing({0});
+    // Starts in permitted memory, runs into the denied region.
+    EXPECT_THROW(mach.checkAccess(arena + 56, 16, AccessType::Read),
+                 ProtectionFault);
+    EXPECT_NO_THROW(mach.checkAccess(arena + 48, 16, AccessType::Read));
+    mach.memMap.remove(arena);
+    mach.memMap.remove(arena + 64);
+}
+
+// ------------------------------------------------------- EPT shutdown
+
+TEST_F(MixedFixture, EptShutdownCancelsServerBlockedInRpcBody)
+{
+    auto img = buildFrom(threeMechConfig);
+    WaitQueue never(sched); // nobody ever signals this
+    bool inBody = false;
+    Thread *caller = img->spawnIn("libredis", "caller", [&] {
+        img->gate("lwip", "recv", [&] {
+            inBody = true;
+            never.wait(); // an RPC that will not complete
+        });
+    });
+    ASSERT_TRUE(sched.runUntil([&] { return inBody; }));
+
+    // The bounded drain cannot finish this server; teardown must
+    // unwind it instead of destroying the rings under its feet.
+    img->shutdown();
+    EXPECT_EQ(mach.counter("gate.ept.shutdownCancels"), 1u);
+
+    // The caller observes the cancellation and unwinds cleanly.
+    sched.run();
+    EXPECT_EQ(caller->state(), Thread::State::Finished);
+    EXPECT_FALSE(caller->failed()) << caller->error();
+}
+
+TEST_F(MixedFixture, EptShutdownDrainsQueuedRpcs)
+{
+    auto img = buildFrom(threeMechConfig);
+    WaitQueue never(sched);
+    int inBody = 0;
+    std::vector<Thread *> callers;
+    // Three callers into a VM with two servers: both servers block
+    // inside bodies, the third RPC sits queued in the ring.
+    for (int i = 0; i < 3; ++i) {
+        callers.push_back(img->spawnIn(
+            "libredis", "caller-" + std::to_string(i), [&] {
+                img->gate("lwip", "recv", [&] {
+                    ++inBody;
+                    never.wait();
+                });
+            }));
+    }
+    EXPECT_FALSE(sched.run()); // everything is blocked
+    ASSERT_EQ(inBody, 2);
+
+    // Shutdown must cancel both busy servers AND fail the queued RPC —
+    // otherwise its caller waits on doneWait forever.
+    img->shutdown();
+    EXPECT_EQ(mach.counter("gate.ept.shutdownCancels"), 2u);
+    EXPECT_EQ(mach.counter("gate.ept.shutdownDrained"), 1u);
+
+    sched.run();
+    for (Thread *t : callers) {
+        EXPECT_EQ(t->state(), Thread::State::Finished);
+        EXPECT_FALSE(t->failed()) << t->error();
+    }
+}
+
+// --------------------------------------------------- sim-stack reaping
+
+TEST_F(MixedFixture, SimStacksReapedWhenThreadsExit)
+{
+    auto img = buildFrom(R"(
+compartments:
+- comp1:
+    mechanism: intel-mpk
+    default: True
+- comp2:
+    mechanism: intel-mpk
+libraries:
+- libredis: comp1
+- lwip: comp2
+)");
+    std::size_t baseline = mach.memMap.count();
+
+    // A 100-thread storm: every thread's first DSS-gate crossing lazily
+    // registers a private+shadow stack pair for (thread, comp2).
+    for (int i = 0; i < 100; ++i) {
+        img->spawnIn("libredis", "worker-" + std::to_string(i), [&] {
+            img->gate("lwip", "recv", [] {});
+        });
+    }
+    sched.run();
+
+    // All workers finished: their stacks (and memMap regions) are gone,
+    // so long-running images don't accrete dead regions that slow every
+    // MMU lookup.
+    EXPECT_EQ(mach.memMap.count(), baseline);
+    EXPECT_GE(mach.counter("image.simStackReaps"), 100u);
+    img->shutdown();
+}
+
+// ------------------------------------------- deployment under load
+
+TEST_F(MixedFixture, MixedDeploymentServesMultiFlowIperf)
+{
+    DeployOptions opts;
+    opts.withFs = false;
+    opts.heapBytes = 2 * 1024 * 1024;
+    opts.sharedHeapBytes = 1 * 1024 * 1024;
+    Deployment dep(R"(
+compartments:
+- app:
+    mechanism: intel-mpk
+    default: True
+- sys:
+    mechanism: intel-mpk
+- net:
+    mechanism: vm-ept
+libraries:
+- libiperf: app
+- newlib: sys
+- uksched: sys
+- lwip: net
+)",
+                   opts);
+    dep.start();
+    IperfResult res =
+        runIperfMulti(dep.image(), dep.libc(), dep.clientStack(),
+                      16 * 1024, 2048, /*flows=*/4, /*port=*/5201);
+
+    EXPECT_EQ(res.bytes, 4u * 16 * 1024);
+    EXPECT_GT(res.gbitPerSec, 0.0);
+    // Both mechanisms carried traffic on their own boundaries.
+    EXPECT_GT(dep.machine().counter("gate.ept"), 0u);
+    EXPECT_GT(dep.machine().counter("gate.mpk.dss"), 0u);
+
+    // All per-connection fibers from the first run exited and their
+    // sim stacks were reaped; only long-lived threads (pollers, RPC
+    // servers) may still hold stacks. A second identical run must not
+    // accrete regions — the unbounded-growth regression.
+    std::size_t regionsAfterFirst = dep.machine().memMap.count();
+    EXPECT_GT(dep.machine().counter("image.simStackReaps"), 0u);
+    IperfResult res2 =
+        runIperfMulti(dep.image(), dep.libc(), dep.clientStack(),
+                      16 * 1024, 2048, /*flows=*/4, /*port=*/5202);
+    dep.stop();
+    EXPECT_EQ(res2.bytes, 4u * 16 * 1024);
+    EXPECT_EQ(dep.machine().memMap.count(), regionsAfterFirst);
+}
+
+} // namespace
+} // namespace flexos
+
