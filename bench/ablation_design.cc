@@ -80,7 +80,8 @@ main()
          {std::pair{"light (ERIM-style)", MpkGateFlavor::Light},
           std::pair{"full/DSS (HODOR-style)", MpkGateFlavor::Dss}}) {
         SafetyConfig cfg = SafetyConfig::parse(redisMpk2());
-        cfg.mpkGate = flavor;
+        cfg.boundaries.push_back(
+            BoundaryRule{"*", "*", flavor, {}, {}});
         std::printf("    %-26s %9.1fk req/s\n", name,
                     throughput(cfg) / 1000);
     }

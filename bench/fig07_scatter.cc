@@ -4,11 +4,18 @@
  * the same 80 configurations, grouped by compartment count — showing
  * that isolating/hardening the same components costs the two
  * applications differently (uneven, hard-to-predict slowdowns).
+ *
+ * Extended with the per-boundary dimensions of the gate-policy matrix:
+ * the mixed-mechanism sweep ({none, mpk, ept, cheri} per block), the
+ * per-boundary MPK gate-flavour sweep ({light, dss} per block), and an
+ * asymmetric-boundary demonstration (EPT->MPK returns skipping the
+ * return-side scrub are measurably cheaper).
  */
 
 #include <cstdio>
 #include <vector>
 
+#include "apps/deploy.hh"
 #include "explore/wayfinder.hh"
 
 using namespace flexos;
@@ -79,5 +86,85 @@ main()
                     mixedRedis[i] / mixedMax,
                     wayfinder::pointLabel(mixed[i], "app").c_str());
     }
+
+    // --- Per-boundary gate-flavour dimension -------------------------
+    // The MPK flavour is a (from, to) knob of the gate matrix, not a
+    // global: each block's boundary picks light (ERIM-style) or dss
+    // (HODOR-style), so a hot trusted boundary can run the cheap gate
+    // while an attacker-facing one keeps the register-scrubbing one.
+    std::vector<ConfigPoint> flav = wayfinder::gateFlavorSpace();
+    std::vector<double> flavRedis;
+    double flavMax = 0;
+    for (const ConfigPoint &p : flav) {
+        flavRedis.push_back(wayfinder::measureRedis(p, 150));
+        flavMax = std::max(flavMax, flavRedis.back());
+    }
+    std::printf("\n=== Gate-flavour dimension: Redis, %zu per-block "
+                "flavour assignments (light < dss per boundary) ===\n",
+                flav.size());
+    std::printf("%-6s %-14s %s\n", "comps", "redis (norm)",
+                "configuration");
+    for (std::size_t i = 0; i < flav.size(); ++i) {
+        std::printf("%-6d %-14.3f %s\n", flav[i].compartments(),
+                    flavRedis[i] / flavMax,
+                    wayfinder::pointLabel(flav[i], "app").c_str());
+    }
+
+    // --- Asymmetric boundary policies --------------------------------
+    // With a full (from, to) matrix, a crossing's cost can depend on
+    // both endpoints. Canonical case: calls from an EPT VM into an MPK
+    // compartment return into the caller's own trusted VM state, so
+    // the return-side register scrub can be waived (`scrub: false` on
+    // the net -> * edge) without weakening what the *callee* boundary
+    // protects. Measure the raw EPT->MPK gate round trip both ways.
+    auto eptToMpkGateCost = [](bool skipReturnScrub) {
+        std::string cfg = R"(
+compartments:
+- app:
+    mechanism: intel-mpk
+    default: True
+- sys:
+    mechanism: intel-mpk
+- net:
+    mechanism: vm-ept
+libraries:
+- libredis: app
+- newlib: sys
+- uksched: sys
+- lwip: net
+)";
+        if (skipReturnScrub)
+            cfg += "boundaries:\n- net -> '*': {scrub: false}\n";
+        DeployOptions opts;
+        opts.withNet = false;
+        opts.withFs = false;
+        Deployment dep(cfg, opts);
+        constexpr std::uint64_t iters = 2000;
+        Cycles measured = 0;
+        bool done = false;
+        // Spawn inside the EPT VM and gate into the MPK sys
+        // compartment: the (net -> sys) cell of the matrix.
+        dep.image().spawnIn("lwip", "ept-caller", [&] {
+            Machine &m = dep.machine();
+            Cycles before = m.cycles();
+            for (std::uint64_t i = 0; i < iters; ++i)
+                dep.image().gate("uksched", "yield", [] {});
+            measured = m.cycles() - before;
+            done = true;
+        });
+        dep.scheduler().runUntil([&] { return done; });
+        return static_cast<double>(measured) /
+               static_cast<double>(iters);
+    };
+    double symmetric = eptToMpkGateCost(false);
+    double asymmetric = eptToMpkGateCost(true);
+    std::printf("\n=== Asymmetric boundary: EPT->MPK return policy "
+                "===\n");
+    std::printf("  net -> sys, full dss gate          : %7.1f "
+                "vcycles/crossing\n",
+                symmetric);
+    std::printf("  net -> sys, scrub: false on return : %7.1f "
+                "vcycles/crossing (%.1f%% cheaper)\n",
+                asymmetric, 100.0 * (symmetric - asymmetric) / symmetric);
     return 0;
 }

@@ -59,7 +59,8 @@ libraries:
 - newlib: comp2
 - uksched: comp2
 - lwip: comp2
-mpk_gate: )") + flavor + "\n";
+boundaries:
+- '*' -> '*': {gate: )") + flavor + "}\n";
 }
 
 const char *ept2Cfg = R"(

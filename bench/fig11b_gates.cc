@@ -32,7 +32,8 @@ libraries:
 - lwip: c2
 )";
     if (gateFlavor)
-        text += std::string("mpk_gate: ") + gateFlavor + "\n";
+        text += std::string("boundaries:\n- '*' -> '*': {gate: ") +
+                gateFlavor + "}\n";
     return text;
 }
 

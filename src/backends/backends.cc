@@ -16,6 +16,7 @@
 
 #include "core/backend.hh"
 
+#include <algorithm>
 #include <deque>
 #include <exception>
 
@@ -39,19 +40,25 @@ ownsCompartment(const IsolationBackend &be, Image &img, std::size_t i)
 
 /**
  * RAII domain transition used by all inline (non-RPC) gates: installs
- * the target compartment's PKRU, compartment id and work multiplier,
- * restoring the caller's on scope exit (also on exceptions, which is
- * how ProtectionFault and hardening violations unwind through gates).
+ * the target compartment's PKRU, VM token, compartment id and work
+ * multiplier, restoring the caller's on scope exit (also on
+ * exceptions, which is how ProtectionFault and hardening violations
+ * unwind through gates).
  */
 class DomainTransition
 {
   public:
     DomainTransition(Image &img, int to, double workMult)
         : mach(img.machine()), thread(img.scheduler().current()),
-          savedPkru(mach.pkru), savedMult(mach.workMultiplier),
+          savedPkru(mach.pkru), savedVm(mach.currentVm),
+          savedMult(mach.workMultiplier),
           savedComp(thread ? thread->currentCompartment : 0)
     {
-        mach.pkru = img.compartmentAt(static_cast<std::size_t>(to)).domain;
+        Compartment &c = img.compartmentAt(static_cast<std::size_t>(to));
+        mach.pkru = c.domain;
+        // VM-private (EPT) compartments are unmapped outside their VM:
+        // executing there makes only that VM's memory reachable.
+        mach.currentVm = c.vmPrivate ? to : -1;
         mach.workMultiplier = workMult;
         if (thread)
             thread->currentCompartment = to;
@@ -60,6 +67,7 @@ class DomainTransition
     ~DomainTransition()
     {
         mach.pkru = savedPkru;
+        mach.currentVm = savedVm;
         mach.workMultiplier = savedMult;
         if (thread)
             thread->currentCompartment = savedComp;
@@ -72,6 +80,7 @@ class DomainTransition
     Machine &mach;
     Thread *thread;
     Pkru savedPkru;
+    int savedVm;
     double savedMult;
     int savedComp;
 };
@@ -96,8 +105,8 @@ class NoneBackend : public IsolationBackend
     void shutdown(Image &) override {}
 
     void
-    crossCall(Image &img, int from, int to, const std::string &,
-              const char *, double workMult,
+    crossCall(Image &img, int from, int to, const GatePolicy &,
+              const std::string &, const char *, double workMult,
               const std::function<void()> &body) override
     {
         // No isolation: the "gate" is the function call itself.
@@ -110,20 +119,16 @@ class NoneBackend : public IsolationBackend
     }
 };
 
-/** Intel MPK backend (paper 4.1). */
+/**
+ * Intel MPK backend (paper 4.1). Flavour-agnostic: each crossing's
+ * GatePolicy picks the light (ERIM-style) or DSS (HODOR-style) gate,
+ * so one image can run both flavours on different boundaries.
+ */
 class MpkBackend : public IsolationBackend
 {
   public:
-    explicit MpkBackend(MpkGateFlavor flavor) : flavor(flavor) {}
-
     Mechanism mechanism() const override { return Mechanism::IntelMpk; }
-
-    const char *
-    name() const override
-    {
-        return flavor == MpkGateFlavor::Light ? "intel-mpk(light)"
-                                              : "intel-mpk(dss)";
-    }
+    const char *name() const override { return "intel-mpk"; }
 
     void
     boot(Image &img) override
@@ -144,21 +149,30 @@ class MpkBackend : public IsolationBackend
     void shutdown(Image &) override {}
 
     void
-    crossCall(Image &img, int from, int to, const std::string &,
-              const char *, double workMult,
+    crossCall(Image &img, int from, int to, const GatePolicy &policy,
+              const std::string &, const char *, double workMult,
               const std::function<void()> &body) override
     {
         auto &m = img.machine();
-        if (flavor == MpkGateFlavor::Light) {
+        if (policy.flavor == MpkGateFlavor::Light) {
             // ERIM-style: wrpkru pair around a normal call; stack and
-            // register set are shared with the callee.
+            // register set are shared with the callee (nothing to
+            // scrub on return).
             m.consume(m.timing.mpkLightGate);
             m.bump("gate.mpk.light");
         } else {
             // HODOR-style full gate: save+zero the register set, switch
             // thread permissions, switch to the compartment's stack via
-            // the per-thread stack registry (and back on return).
-            m.consume(m.timing.mpkDssGate);
+            // the per-thread stack registry (and back on return). An
+            // asymmetric policy can waive the return-side scrub (e.g.
+            // returns into the caller's own VM re-enter trusted state),
+            // saving the register save/zero on the way back.
+            Cycles cost = m.timing.mpkDssGate;
+            if (!policy.scrubReturn) {
+                cost -= std::min(cost, m.timing.registerSaveZero);
+                m.bump("gate.mpk.dss.noscrub");
+            }
+            m.consume(cost);
             m.bump("gate.mpk.dss");
             // Touch the per-thread compartment stack registry so the
             // target stack exists (the functional stack switch).
@@ -170,17 +184,14 @@ class MpkBackend : public IsolationBackend
         DomainTransition dt(img, to, workMult);
         body();
     }
-
-  private:
-    MpkGateFlavor flavor;
 };
 
 /** EPT backend: one VM per compartment, RPC gates (paper 4.2). */
 class EptBackend : public IsolationBackend
 {
   public:
-    /** RPC server threads per VM ("pool of threads", paper 4.2). */
-    static constexpr int serversPerVm = 2;
+    /** Elastic pool cap: a VM never grows past this many servers. */
+    static constexpr int maxServersPerVm = 8;
 
     Mechanism mechanism() const override { return Mechanism::VmEpt; }
     const char *name() const override { return "vm-ept"; }
@@ -204,15 +215,12 @@ class EptBackend : public IsolationBackend
                 continue;
             auto &vm = vms[vmId];
             vm.serverIdle = std::make_unique<WaitQueue>(sched);
-            for (int s = 0; s < serversPerVm; ++s) {
-                std::string name = "ept-vm" + std::to_string(vmId) +
-                                   "-rpc" + std::to_string(s);
-                Thread *t = sched.spawn(
-                    name, [this, &img, vmId] { serverLoop(img, vmId); });
-                t->currentCompartment = static_cast<int>(vmId);
-                t->pkru = img.compartmentAt(vmId).domain;
-                serverThreads.push_back(t);
-            }
+            // Base pool size is the compartment's `servers:` knob; the
+            // pool grows elastically under load (blocked RPC bodies —
+            // socket waits — would otherwise occupy the whole pool).
+            int base = img.compartmentAt(vmId).spec.servers;
+            for (int s = 0; s < base; ++s)
+                spawnServer(img, vmId);
         }
     }
 
@@ -272,9 +280,9 @@ class EptBackend : public IsolationBackend
     }
 
     void
-    crossCall(Image &img, int from, int to, const std::string &calleeLib,
-              const char *fnName, double workMult,
-              const std::function<void()> &body) override
+    crossCall(Image &img, int from, int to, const GatePolicy &policy,
+              const std::string &calleeLib, const char *fnName,
+              double workMult, const std::function<void()> &body) override
     {
         auto &m = img.machine();
         Scheduler &sched = img.scheduler();
@@ -282,8 +290,15 @@ class EptBackend : public IsolationBackend
         panic_if(!caller, "EPT RPC gate requires a thread context");
 
         // Caller side: place the "function pointer" and arguments in
-        // the predefined shared area (paper 4.2) and wait.
-        m.consume(m.timing.eptGate);
+        // the predefined shared area (paper 4.2) and wait. A policy
+        // waiving the return-side scrub skips the register save/zero
+        // the caller would otherwise redo when the RPC completes.
+        Cycles cost = m.timing.eptGate;
+        if (!policy.scrubReturn) {
+            cost -= std::min(cost, m.timing.registerSaveZero);
+            m.bump("gate.ept.noscrub");
+        }
+        m.consume(cost);
         m.bump("gate.ept");
         img.noteCrossing(from, to);
 
@@ -299,6 +314,25 @@ class EptBackend : public IsolationBackend
         panic_if(!vm.serverIdle,
                  "EPT RPC routed to a compartment without a VM");
         vm.ring.push_back(&rpc);
+        // Ring-depth high-water mark: the deepest any VM's request
+        // ring ever got (pool pressure; ROADMAP "EPT server pool
+        // sizing"). The machine counter tracks the max across VMs and
+        // survives reboots, so it only ratchets upward.
+        if (vm.ring.size() > vm.ringHighWater) {
+            vm.ringHighWater = vm.ring.size();
+            std::uint64_t cur = m.counter("gate.ept.ringDepth");
+            if (vm.ringHighWater > cur)
+                m.bump("gate.ept.ringDepth", vm.ringHighWater - cur);
+        }
+        // Elastic growth: if every server is busy (running or blocked
+        // inside an RPC body) and requests are queueing, add a server
+        // up to the cap so blocked bodies can't starve the boundary.
+        int idle = static_cast<int>(vm.pool.size()) - vm.busy;
+        if (static_cast<int>(vm.ring.size()) > idle &&
+            static_cast<int>(vm.pool.size()) < poolCap(img, to)) {
+            spawnServer(img, static_cast<std::size_t>(to));
+            m.bump("gate.ept.elasticSpawns");
+        }
         vm.serverIdle->wakeOne();
 
         while (!rpc.done)
@@ -323,7 +357,38 @@ class EptBackend : public IsolationBackend
     {
         std::deque<Rpc *> ring; ///< the shared-memory request ring
         std::unique_ptr<WaitQueue> serverIdle;
+        std::vector<Thread *> pool; ///< this VM's server threads
+        int busy = 0;               ///< servers inside an RPC body
+        std::size_t ringHighWater = 0;
     };
+
+    /** Elastic pool ceiling: at least the configured base size. */
+    int
+    poolCap(Image &img, int vmId)
+    {
+        return std::max(
+            img.compartmentAt(static_cast<std::size_t>(vmId))
+                .spec.servers,
+            maxServersPerVm);
+    }
+
+    void
+    spawnServer(Image &img, std::size_t vmId)
+    {
+        Scheduler &sched = img.scheduler();
+        auto &vm = vms[vmId];
+        std::string name = "ept-vm" + std::to_string(vmId) + "-rpc" +
+                           std::to_string(vm.pool.size());
+        Thread *t = sched.spawn(
+            name, [this, &img, vmId] { serverLoop(img, vmId); });
+        t->currentCompartment = static_cast<int>(vmId);
+        t->pkru = img.compartmentAt(vmId).domain;
+        // Server threads execute inside the VM: its private (keyless)
+        // memory is mapped for them and nothing else's.
+        t->vm = static_cast<int>(vmId);
+        vm.pool.push_back(t);
+        serverThreads.push_back(t);
+    }
 
     void
     serverLoop(Image &img, std::size_t vmId)
@@ -350,12 +415,14 @@ class EptBackend : public IsolationBackend
                     *rpc->calleeLib + "." + rpc->fnName));
             } else {
                 m.consume(m.timing.pollDispatch);
+                ++vm.busy;
                 try {
                     WorkMultGuard guard(m, rpc->workMult);
                     (*rpc->body)();
                 } catch (...) {
                     rpc->error = std::current_exception();
                 }
+                --vm.busy;
             }
             rpc->done = true;
             rpc->doneWait->wakeAll();
@@ -384,12 +451,17 @@ class CheriBackend : public IsolationBackend
     void shutdown(Image &) override {}
 
     void
-    crossCall(Image &img, int from, int to, const std::string &,
-              const char *, double workMult,
+    crossCall(Image &img, int from, int to, const GatePolicy &policy,
+              const std::string &, const char *, double workMult,
               const std::function<void()> &body) override
     {
         auto &m = img.machine();
-        m.consume(m.timing.registerSaveZero + m.timing.mpkDssGate);
+        // Capability + register clear dominates; the return-side clear
+        // can be waived by an asymmetric policy like the MPK gate's.
+        Cycles cost = m.timing.registerSaveZero + m.timing.mpkDssGate;
+        if (!policy.scrubReturn)
+            cost -= std::min(cost, m.timing.registerSaveZero);
+        m.consume(cost);
         m.bump("gate.cheri");
         img.noteCrossing(from, to);
         DomainTransition dt(img, to, workMult);
@@ -410,8 +482,8 @@ class LinuxPtBackend : public IsolationBackend
     void shutdown(Image &) override {}
 
     void
-    crossCall(Image &img, int from, int to, const std::string &,
-              const char *, double workMult,
+    crossCall(Image &img, int from, int to, const GatePolicy &,
+              const std::string &, const char *, double workMult,
               const std::function<void()> &body) override
     {
         auto &m = img.machine();
@@ -438,8 +510,8 @@ class Sel4IpcBackend : public IsolationBackend
     void shutdown(Image &) override {}
 
     void
-    crossCall(Image &img, int from, int to, const std::string &,
-              const char *, double workMult,
+    crossCall(Image &img, int from, int to, const GatePolicy &,
+              const std::string &, const char *, double workMult,
               const std::function<void()> &body) override
     {
         auto &m = img.machine();
@@ -467,8 +539,8 @@ class CubicleMpkBackend : public IsolationBackend
     void shutdown(Image &) override {}
 
     void
-    crossCall(Image &img, int from, int to, const std::string &,
-              const char *, double workMult,
+    crossCall(Image &img, int from, int to, const GatePolicy &,
+              const std::string &, const char *, double workMult,
               const std::function<void()> &body) override
     {
         auto &m = img.machine();
@@ -491,13 +563,13 @@ class CubicleMpkBackend : public IsolationBackend
 } // namespace
 
 std::unique_ptr<IsolationBackend>
-makeBackend(Mechanism m, MpkGateFlavor flavor)
+makeBackend(Mechanism m)
 {
     switch (m) {
       case Mechanism::None:
         return std::make_unique<NoneBackend>();
       case Mechanism::IntelMpk:
-        return std::make_unique<MpkBackend>(flavor);
+        return std::make_unique<MpkBackend>();
       case Mechanism::VmEpt:
         return std::make_unique<EptBackend>();
       case Mechanism::Cheri:

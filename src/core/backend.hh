@@ -50,8 +50,13 @@ class IsolationBackend
      * running in compartment 'from' — the instantiated call gate.
      * Charges the gate cost, performs the domain transition, and runs
      * body under calleeWorkMult (the callee component's hardening tax).
+     * The resolved (from, to) GatePolicy selects the MPK flavour,
+     * caller-side entry validation, and whether the return path scrubs
+     * the register set (asymmetric policies like "EPT->MPK returns
+     * skip re-validation" drop the return-side scrub).
      */
     virtual void crossCall(Image &img, int from, int to,
+                           const GatePolicy &policy,
                            const std::string &calleeLib,
                            const char *fnName, double calleeWorkMult,
                            const std::function<void()> &body) = 0;
@@ -70,9 +75,13 @@ class IsolationBackend
     virtual bool replicatesTcb() const { return false; }
 };
 
-/** Instantiate the backend for a mechanism (toolchain registration). */
-std::unique_ptr<IsolationBackend> makeBackend(Mechanism m,
-                                              MpkGateFlavor flavor);
+/**
+ * Instantiate the backend for a mechanism (toolchain registration).
+ * Backends are flavour-agnostic: the MPK gate flavour arrives with
+ * each crossing's GatePolicy, so one backend instance serves light and
+ * DSS boundaries simultaneously.
+ */
+std::unique_ptr<IsolationBackend> makeBackend(Mechanism m);
 
 } // namespace flexos
 

@@ -50,6 +50,15 @@ mechanismName(Mechanism m)
     return "?";
 }
 
+bool
+mechanismConsumesProtKey(Mechanism m)
+{
+    // Only EPT compartments live behind their VM's second-level page
+    // tables instead of a protection key; every other mechanism's
+    // memory is key-tagged in the region model.
+    return m != Mechanism::VmEpt;
+}
+
 Hardening
 hardeningFromName(const std::string &name)
 {
@@ -111,14 +120,165 @@ parseBool(const std::string &value)
     return v == "true" || v == "yes" || v == "1";
 }
 
+MpkGateFlavor
+flavorFromName(const std::string &value, int lineNo)
+{
+    std::string v = toLower(trim(value));
+    if (v == "light")
+        return MpkGateFlavor::Light;
+    if (v == "dss" || v == "full")
+        return MpkGateFlavor::Dss;
+    fatal("config line ", lineNo, ": unknown gate flavour '", value,
+          "' (expected light or dss)");
+}
+
+/** Strip surrounding single or double quotes ('*' -> *). */
+std::string
+stripQuotes(const std::string &s)
+{
+    std::string v = trim(s);
+    if (v.size() >= 2 && ((v.front() == '\'' && v.back() == '\'') ||
+                          (v.front() == '"' && v.back() == '"')))
+        return trim(v.substr(1, v.size() - 2));
+    return v;
+}
+
+/**
+ * Parse a boundary rule: key "from -> to", value "{k: v, ...}".
+ * Recognized keys: gate (light|dss), validate (bool), scrub (bool).
+ */
+BoundaryRule
+parseBoundaryRule(const std::string &key, const std::string &value,
+                  int lineNo)
+{
+    auto arrow = key.find("->");
+    fatal_if(arrow == std::string::npos, "config line ", lineNo,
+             ": boundary rule must be 'from -> to', got '", key, "'");
+    BoundaryRule rule;
+    rule.from = stripQuotes(key.substr(0, arrow));
+    rule.to = stripQuotes(key.substr(arrow + 2));
+    fatal_if(rule.from.empty() || rule.to.empty(), "config line ",
+             lineNo, ": boundary rule needs both endpoints");
+
+    std::string v = trim(value);
+    fatal_if(v.empty() || v.front() != '{' || v.back() != '}',
+             "config line ", lineNo,
+             ": boundary policy must be an inline map '{...}'");
+    for (const std::string &entry : split(v.substr(1, v.size() - 2), ',')) {
+        if (trim(entry).empty())
+            continue;
+        auto colon = entry.find(':');
+        fatal_if(colon == std::string::npos, "config line ", lineNo,
+                 ": boundary policy entry '", trim(entry),
+                 "' is not 'key: value'");
+        std::string k = toLower(trim(entry.substr(0, colon)));
+        std::string val = trim(entry.substr(colon + 1));
+        if (k == "gate")
+            rule.flavor = flavorFromName(val, lineNo);
+        else if (k == "validate")
+            rule.validate = parseBool(val);
+        else if (k == "scrub")
+            rule.scrub = parseBool(val);
+        else
+            fatal("config line ", lineNo, ": unknown boundary key '", k,
+                  "' (expected gate, validate or scrub)");
+    }
+    return rule;
+}
+
 } // namespace
+
+std::string
+GatePolicy::name() const
+{
+    std::string s = mechanismName(mech);
+    if (mech == Mechanism::IntelMpk)
+        s += flavor == MpkGateFlavor::Light ? "(light)" : "(dss)";
+    if (validateEntry)
+        s += "+validate";
+    if (!scrubReturn)
+        s += "-scrub";
+    return s;
+}
+
+GateMatrix
+GateMatrix::build(const SafetyConfig &cfg)
+{
+    GateMatrix m;
+    m.n = cfg.compartments.size();
+    m.cells.resize(m.n * m.n);
+
+    // Default fallback: the callee compartment's mechanism with the
+    // full-strength policy (today's callee-side dispatch rule).
+    for (std::size_t f = 0; f < m.n; ++f) {
+        for (std::size_t t = 0; t < m.n; ++t) {
+            GatePolicy &p = m.cells[f * m.n + t];
+            p.mech = cfg.compartments[t].mechanism;
+        }
+    }
+
+    // Layer the rules by specificity; within a layer, file order wins.
+    // Callee-side wildcards ('*' -> to) are more specific than
+    // caller-side ones (from -> '*'), mirroring callee-side dispatch.
+    auto applyLayer = [&](auto matches) {
+        for (const BoundaryRule &r : cfg.boundaries) {
+            if (!matches(r))
+                continue;
+            int fi = r.from == "*" ? -1 : cfg.compartmentIndex(r.from);
+            int ti = r.to == "*" ? -1 : cfg.compartmentIndex(r.to);
+            fatal_if(r.from != "*" && fi < 0, "boundary rule names ",
+                     "unknown compartment '", r.from, "'");
+            fatal_if(r.to != "*" && ti < 0, "boundary rule names ",
+                     "unknown compartment '", r.to, "'");
+            for (std::size_t f = 0; f < m.n; ++f) {
+                if (fi >= 0 && f != static_cast<std::size_t>(fi))
+                    continue;
+                for (std::size_t t = 0; t < m.n; ++t) {
+                    if (ti >= 0 && t != static_cast<std::size_t>(ti))
+                        continue;
+                    GatePolicy &p = m.cells[f * m.n + t];
+                    if (r.flavor)
+                        p.flavor = *r.flavor;
+                    if (r.validate)
+                        p.validateEntry = *r.validate;
+                    if (r.scrub)
+                        p.scrubReturn = *r.scrub;
+                }
+            }
+        }
+    };
+    applyLayer([](const BoundaryRule &r) {
+        return r.from == "*" && r.to == "*";
+    });
+    applyLayer([](const BoundaryRule &r) {
+        return r.from != "*" && r.to == "*";
+    });
+    applyLayer([](const BoundaryRule &r) {
+        return r.from == "*" && r.to != "*";
+    });
+    applyLayer([](const BoundaryRule &r) {
+        return r.from != "*" && r.to != "*";
+    });
+    return m;
+}
+
+const GatePolicy &
+GateMatrix::at(int from, int to) const
+{
+    panic_if(from < 0 || to < 0 ||
+                 static_cast<std::size_t>(from) >= n ||
+                 static_cast<std::size_t>(to) >= n,
+             "gate-matrix index out of range");
+    return cells[static_cast<std::size_t>(from) * n +
+                 static_cast<std::size_t>(to)];
+}
 
 SafetyConfig
 SafetyConfig::parse(const std::string &text)
 {
     SafetyConfig cfg;
-    enum class Section { None, Compartments, Libraries } section =
-        Section::None;
+    enum class Section { None, Compartments, Libraries, Boundaries }
+        section = Section::None;
     CompartmentSpec *current = nullptr;
 
     int lineNo = 0;
@@ -139,6 +299,11 @@ SafetyConfig::parse(const std::string &text)
             current = nullptr;
             continue;
         }
+        if (line == "boundaries:") {
+            section = Section::Boundaries;
+            current = nullptr;
+            continue;
+        }
 
         // Top-level scalar options.
         auto colon = line.find(':');
@@ -154,6 +319,18 @@ SafetyConfig::parse(const std::string &text)
                                          section == Section::None)) {
             fatal("config line ", lineNo, ": '", key,
                   "' outside any section");
+        }
+
+        // Legacy global knob, accepted anywhere a top-level key could
+        // appear: desugars to a ('*','*') flavour rule so old configs
+        // keep parsing while the matrix is the only policy source.
+        if (!isItem && current == nullptr && key == "mpk_gate") {
+            BoundaryRule rule;
+            rule.from = "*";
+            rule.to = "*";
+            rule.flavor = flavorFromName(value, lineNo);
+            cfg.boundaries.push_back(std::move(rule));
+            continue;
         }
 
         if (section == Section::Compartments) {
@@ -172,17 +349,30 @@ SafetyConfig::parse(const std::string &text)
                     for (const std::string &h : parseList(value))
                         current->hardening.push_back(
                             hardeningFromName(h));
+                } else if (key == "servers") {
+                    std::string v = trim(value);
+                    bool numeric = !v.empty() && v.size() <= 4;
+                    for (char ch : v)
+                        numeric = numeric && ch >= '0' && ch <= '9';
+                    fatal_if(!numeric, "config line ", lineNo,
+                             ": servers must be a small positive "
+                             "integer, got '", value, "'");
+                    current->servers = std::stoi(v);
+                    current->serversExplicit = true;
+                    fatal_if(current->servers < 1, "config line ",
+                             lineNo, ": servers must be >= 1");
                 } else {
                     fatal("config line ", lineNo,
                           ": unknown compartment key '", key, "'");
                 }
-            } else if (key == "mpk_gate") {
-                cfg.mpkGate = toLower(value) == "light"
-                                  ? MpkGateFlavor::Light
-                                  : MpkGateFlavor::Dss;
             } else {
                 fatal("config line ", lineNo, ": stray key '", key, "'");
             }
+        } else if (section == Section::Boundaries) {
+            fatal_if(!isItem, "config line ", lineNo,
+                     ": boundaries entries are '- from -> to: {...}'");
+            cfg.boundaries.push_back(
+                parseBoundaryRule(key, value, lineNo));
         } else if (section == Section::Libraries) {
             if (isItem) {
                 fatal_if(value.empty(), "config line ", lineNo,
@@ -198,10 +388,6 @@ SafetyConfig::parse(const std::string &text)
                             hardeningFromName(h));
                 }
                 cfg.libraries.emplace_back(key, compName);
-            } else if (key == "mpk_gate") {
-                cfg.mpkGate = toLower(value) == "light"
-                                  ? MpkGateFlavor::Light
-                                  : MpkGateFlavor::Dss;
             } else if (key == "stack_sharing") {
                 std::string v = toLower(value);
                 if (v == "heap")
@@ -232,6 +418,8 @@ SafetyConfig::toText() const
         oss << "    mechanism: " << mechanismName(c.mechanism) << "\n";
         if (c.isDefault)
             oss << "    default: True\n";
+        if (c.serversExplicit || c.servers != defaultEptServers)
+            oss << "    servers: " << c.servers << "\n";
         if (!c.hardening.empty()) {
             oss << "    hardening: [";
             for (std::size_t i = 0; i < c.hardening.size(); ++i) {
@@ -257,6 +445,37 @@ SafetyConfig::toText() const
         }
         oss << "\n";
     }
+    if (!boundaries.empty()) {
+        auto quoted = [](const std::string &s) {
+            return s == "*" ? std::string("'*'") : s;
+        };
+        oss << "boundaries:\n";
+        for (const BoundaryRule &r : boundaries) {
+            oss << "- " << quoted(r.from) << " -> " << quoted(r.to)
+                << ": {";
+            bool first = true;
+            auto sep = [&] {
+                if (!first)
+                    oss << ", ";
+                first = false;
+            };
+            if (r.flavor) {
+                sep();
+                oss << "gate: "
+                    << (*r.flavor == MpkGateFlavor::Light ? "light"
+                                                          : "dss");
+            }
+            if (r.validate) {
+                sep();
+                oss << "validate: " << (*r.validate ? "true" : "false");
+            }
+            if (r.scrub) {
+                sep();
+                oss << "scrub: " << (*r.scrub ? "true" : "false");
+            }
+            oss << "}\n";
+        }
+    }
     return oss.str();
 }
 
@@ -267,6 +486,15 @@ SafetyConfig::compartment(const std::string &name) const
         if (c.name == name)
             return c;
     fatal("unknown compartment '", name, "'");
+}
+
+int
+SafetyConfig::compartmentIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < compartments.size(); ++i)
+        if (compartments[i].name == name)
+            return static_cast<int>(i);
+    return -1;
 }
 
 std::vector<Mechanism>

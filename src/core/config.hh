@@ -17,12 +17,19 @@
  *     - libredis: comp1
  *     - libopenjpg: comp2
  *     - lwip: comp2
+ *     boundaries:
+ *     - comp1 -> comp2: {gate: light}
+ *     - '*' -> comp2: {validate: true}
+ *
+ * The optional `boundaries:` section overrides the gate policy of
+ * individual (from, to) compartment pairs; see BoundaryRule/GateMatrix.
  */
 
 #ifndef FLEXOS_CORE_CONFIG_HH
 #define FLEXOS_CORE_CONFIG_HH
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -71,6 +78,18 @@ const char *mechanismName(Mechanism m);
 Hardening hardeningFromName(const std::string &name);
 const char *hardeningName(Hardening h);
 
+/**
+ * Whether a mechanism's compartments occupy an MPK protection key in
+ * the region model. EPT compartments are modelled as "unmapped outside
+ * their VM" (key virtualization): their memory is reachable only from
+ * threads executing inside the VM, so they consume no PKRU key and do
+ * not count against the 15-compartment key budget.
+ */
+bool mechanismConsumesProtKey(Mechanism m);
+
+/** RPC servers an EPT compartment's VM boots with by default. */
+inline constexpr int defaultEptServers = 2;
+
 /** One compartment in the configuration. */
 struct CompartmentSpec
 {
@@ -78,6 +97,16 @@ struct CompartmentSpec
     Mechanism mechanism = Mechanism::IntelMpk;
     bool isDefault = false;
     std::vector<Hardening> hardening;
+
+    /**
+     * RPC server threads this compartment's VM boots with (EPT only;
+     * `servers: N` in the config). The pool grows elastically under
+     * load up to EptBackend's cap, so blocked RPC bodies cannot starve
+     * the boundary.
+     */
+    int servers = defaultEptServers;
+    /** Whether `servers:` was written explicitly (EPT-only key). */
+    bool serversExplicit = false;
 
     bool
     hardenedWith(Hardening h) const
@@ -87,6 +116,73 @@ struct CompartmentSpec
                 return true;
         return false;
     }
+};
+
+/**
+ * The resolved gate policy of one (from, to) boundary — the first-class
+ * value every crossing is enforced under. Defaults reproduce the
+ * callee-side rule: the callee compartment's mechanism, the full DSS
+ * flavour for MPK boundaries, no extra entry validation, and register
+ * scrubbing on the return path.
+ */
+struct GatePolicy
+{
+    /** Mechanism enforcing the crossing (the callee compartment's). */
+    Mechanism mech = Mechanism::None;
+    /** MPK gate flavour used when mech is intel-mpk. */
+    MpkGateFlavor flavor = MpkGateFlavor::Dss;
+    /** Force caller-side entry-point validation on this edge. */
+    bool validateEntry = false;
+    /** Scrub the register set on the return path (DSS/EPT gates). */
+    bool scrubReturn = true;
+
+    /** Policy name, e.g. "intel-mpk(light)" or "vm-ept+validate". */
+    std::string name() const;
+
+    bool operator==(const GatePolicy &o) const = default;
+};
+
+/**
+ * One rule of the `boundaries:` section. `from`/`to` are compartment
+ * names or the wildcard "*"; unset fields leave the less specific
+ * layer's (or the default policy's) value in place.
+ */
+struct BoundaryRule
+{
+    std::string from;
+    std::string to;
+    std::optional<MpkGateFlavor> flavor; ///< `gate: light|dss`
+    std::optional<bool> validate;        ///< `validate: true|false`
+    std::optional<bool> scrub;           ///< `scrub: true|false`
+
+    bool operator==(const BoundaryRule &o) const = default;
+};
+
+struct SafetyConfig;
+
+/**
+ * The (from, to) gate-policy matrix resolved from a configuration:
+ * one GatePolicy per ordered compartment pair. Rules are layered by
+ * specificity — ('*','*') then (from,'*') then ('*',to) then exact —
+ * so callee-side wildcards override caller-side ones, matching the
+ * historical callee-decides dispatch rule; later rules of equal
+ * specificity win.
+ */
+class GateMatrix
+{
+  public:
+    /** Resolve the matrix (fatal on rules naming unknown comps). */
+    static GateMatrix build(const SafetyConfig &cfg);
+
+    /** Policy of the (from, to) boundary. */
+    const GatePolicy &at(int from, int to) const;
+
+    /** Number of compartments (the matrix is size x size). */
+    std::size_t size() const { return n; }
+
+  private:
+    std::size_t n = 0;
+    std::vector<GatePolicy> cells; ///< row-major [from * n + to]
 };
 
 /** A full safety configuration. */
@@ -103,7 +199,12 @@ struct SafetyConfig
      */
     std::map<std::string, std::vector<Hardening>> libHardening;
 
-    MpkGateFlavor mpkGate = MpkGateFlavor::Dss;
+    /**
+     * Per-boundary policy overrides in declaration order. The legacy
+     * global `mpk_gate:` knob desugars to a ('*','*') flavour rule.
+     */
+    std::vector<BoundaryRule> boundaries;
+
     StackSharing stackSharing = StackSharing::Dss;
 
     /** Per-compartment private heap size (bytes). */
@@ -119,6 +220,9 @@ struct SafetyConfig
 
     /** Find a compartment spec by name (fatal if missing). */
     const CompartmentSpec &compartment(const std::string &name) const;
+
+    /** Index of a compartment by name, or -1 if unknown. */
+    int compartmentIndex(const std::string &name) const;
 
     /** The default compartment's index (fatal if none declared). */
     std::size_t defaultCompartment() const;

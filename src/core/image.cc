@@ -11,14 +11,32 @@ Image::Image(Machine &m, Scheduler &s, SafetyConfig config,
     : mach(m), sched(s), cfg(std::move(config)), reg(registry)
 {
     // Build compartment objects (memory comes later, at boot()).
+    // Key virtualization: only key-consuming compartments take a
+    // protection key; EPT compartments are VM-private (their memory is
+    // unmapped outside the VM) and stay off the key budget, lifting
+    // the 15-compartment cap for mixed images.
+    ProtKey nextKey = 0;
     for (std::size_t i = 0; i < cfg.compartments.size(); ++i) {
         auto c = std::make_unique<Compartment>();
         c->id = static_cast<int>(i);
         c->spec = cfg.compartments[i];
-        c->key = static_cast<ProtKey>(i);
         c->hardenMultiplier =
             hardeningMultiplier(c->spec.hardening, mach.timing);
-        c->domain = Pkru::allowing({c->key, sharedProtKey});
+        if (mechanismConsumesProtKey(c->spec.mechanism)) {
+            fatal_if(nextKey >= sharedProtKey,
+                     "the key-tagged region model supports at most ",
+                     numProtKeys - 1,
+                     " key-consuming compartments per image (one key "
+                     "is reserved for the shared domain)");
+            c->key = nextKey++;
+            c->domain = Pkru::allowing({c->key, sharedProtKey});
+        } else {
+            // VM-private: no key; inside the VM only its own memory
+            // (via the VM token) and the shared domain are reachable.
+            c->vmPrivate = true;
+            c->key = sharedProtKey;
+            c->domain = Pkru::allowing({sharedProtKey});
+        }
         comps.push_back(std::move(c));
     }
 
@@ -43,10 +61,11 @@ Image::Image(Machine &m, Scheduler &s, SafetyConfig config,
         libMults[lib] = hardeningMultiplier(set, mach.timing);
     }
 
-    // One backend per distinct mechanism; each compartment's boundary
-    // is enforced by its own mechanism's backend (per-boundary knob).
+    // One backend per distinct mechanism; each boundary's crossing is
+    // enforced under the gate matrix's resolved (from, to) policy.
+    gates = GateMatrix::build(cfg);
     for (Mechanism m : cfg.mechanisms())
-        backends.push_back(makeBackend(m, cfg.mpkGate));
+        backends.push_back(makeBackend(m));
     compBackends.resize(comps.size(), nullptr);
     for (std::size_t i = 0; i < comps.size(); ++i) {
         for (auto &b : backends)
@@ -189,11 +208,27 @@ Image::registerRegions()
         registeredRegions.push_back(base);
     };
 
+    auto addVmRegion = [&](const void *base, std::size_t size, int vm,
+                           std::string name) {
+        mach.memMap.addVmPrivate(base, size, vm, std::move(name));
+        registeredRegions.push_back(base);
+    };
+
     for (auto &c : comps) {
-        addRegion(c->heapArena.data(), c->heapArena.size(), c->key,
-                  c->spec.name + ".heap");
-        addRegion(c->dataSection.data(), c->dataSection.size(), c->key,
-                  c->spec.name + ".data");
+        if (c->vmPrivate) {
+            // EPT: the compartment's memory lives in its VM's
+            // second-level page tables, unmapped for everyone else —
+            // no protection key consumed.
+            addVmRegion(c->heapArena.data(), c->heapArena.size(), c->id,
+                        c->spec.name + ".heap");
+            addVmRegion(c->dataSection.data(), c->dataSection.size(),
+                        c->id, c->spec.name + ".data");
+        } else {
+            addRegion(c->heapArena.data(), c->heapArena.size(), c->key,
+                      c->spec.name + ".heap");
+            addRegion(c->dataSection.data(), c->dataSection.size(),
+                      c->key, c->spec.name + ".data");
+        }
     }
     addRegion(sharedArena.data(), sharedArena.size(), sharedProtKey,
               "shared.heap");
@@ -280,10 +315,11 @@ Image::currentHardening() const
 }
 
 void
-Image::checkEntry(const std::string &lib, const char *fnName,
-                  int to) const
+Image::checkEntry(const std::string &lib, const char *fnName, int to,
+                  const GatePolicy &pol) const
 {
-    bool enforce = backendFor(to).checksEntryPoints() ||
+    bool enforce = pol.validateEntry ||
+                   backendOf(pol.mech).checksEntryPoints() ||
                    comps[static_cast<std::size_t>(to)]->spec.hardenedWith(
                        Hardening::Cfi);
     if (!enforce)
@@ -309,9 +345,11 @@ Image::spawnIn(const std::string &lib, std::string name,
                std::function<void()> entry)
 {
     int comp = compartmentIndexOf(lib);
+    Compartment &c = *comps[static_cast<std::size_t>(comp)];
     Thread *t = sched.spawn(std::move(name), std::move(entry));
     t->currentCompartment = comp;
-    t->pkru = comps[static_cast<std::size_t>(comp)]->domain;
+    t->pkru = c.domain;
+    t->vm = c.vmPrivate ? comp : -1;
     t->workMult = libMultiplier(lib);
     return t;
 }
@@ -345,14 +383,23 @@ Image::simStackFor(int threadId, int comp)
     SimStack stack;
     stack.mem = std::make_unique<char[]>(2 * SimStack::stackBytes);
     char *base = stack.mem.get();
-    ProtKey compKey = comps[static_cast<std::size_t>(comp)]->key;
+    Compartment &c = *comps[static_cast<std::size_t>(comp)];
+
+    // Private halves of a VM-private (EPT) compartment's stacks live
+    // inside the VM, not behind a key.
+    auto addPrivate = [&](char *p, std::size_t n, std::string tag) {
+        if (c.vmPrivate)
+            mach.memMap.addVmPrivate(p, n, comp, std::move(tag));
+        else
+            mach.memMap.add(p, n, c.key, std::move(tag));
+    };
 
     std::string tag = "stack-t" + std::to_string(threadId) + "-c" +
                       std::to_string(comp);
     switch (cfg.stackSharing) {
       case StackSharing::Dss:
         // Lower half private, upper half (the DSS) in the shared domain.
-        mach.memMap.add(base, SimStack::stackBytes, compKey, tag);
+        addPrivate(base, SimStack::stackBytes, tag);
         mach.memMap.add(base + SimStack::stackBytes, SimStack::stackBytes,
                         sharedProtKey, tag + ".dss");
         break;
@@ -363,7 +410,7 @@ Image::simStackFor(int threadId, int comp)
         break;
       case StackSharing::Heap:
         // Stack stays fully private; shared variables go to the heap.
-        mach.memMap.add(base, 2 * SimStack::stackBytes, compKey, tag);
+        addPrivate(base, 2 * SimStack::stackBytes, tag);
         break;
     }
     auto [pos, inserted] = simStacks.emplace(key, std::move(stack));
@@ -393,20 +440,35 @@ Image::linkerScript() const
     oss << "/* FlexOS generated linker script (backends: "
         << backendNames() << ") */\n";
     oss << "SECTIONS\n{\n";
+    oss << "    /* gate-policy matrix (from -> to : policy) */\n";
+    for (const auto &f : comps) {
+        for (const auto &t : comps) {
+            if (f->id == t->id)
+                continue;
+            oss << "    /*   " << f->spec.name << " -> " << t->spec.name
+                << " : " << policyFor(f->id, t->id).name() << " */\n";
+        }
+    }
     for (const auto &c : comps) {
         const std::string &n = c->spec.name;
-        oss << "    /* compartment " << c->id << " '" << n << "' key "
-            << int(c->key) << " mechanism "
-            << mechanismName(c->spec.mechanism) << " gate "
-            << backendFor(c->id).name() << " */\n";
+        oss << "    /* compartment " << c->id << " '" << n << "' ";
+        if (c->vmPrivate)
+            oss << "vm-private (no key)";
+        else
+            oss << "key " << int(c->key);
+        oss << " mechanism " << mechanismName(c->spec.mechanism)
+            << " gate " << backendFor(c->id).name() << " */\n";
+        std::string prot = c->vmPrivate
+                               ? "ept vm " + std::to_string(c->id)
+                               : "pkey " + std::to_string(int(c->key));
         oss << "    .text." << n << "    : { *(.text." << n << ") }\n";
         oss << "    .rodata." << n << "  : { *(.rodata." << n << ") }\n";
         oss << "    .data." << n << "    : { *(.data." << n
-            << ") } /* " << c->dataSection.size() << " bytes, pkey "
-            << int(c->key) << " */\n";
+            << ") } /* " << c->dataSection.size() << " bytes, " << prot
+            << " */\n";
         oss << "    .bss." << n << "     : { *(.bss." << n << ") }\n";
         oss << "    .heap." << n << "    : { . += " << cfg.heapBytes
-            << "; } /* pkey " << int(c->key) << " */\n";
+            << "; } /* " << prot << " */\n";
     }
     oss << "    /* shared communication domain, pkey "
         << int(sharedProtKey) << " */\n";
@@ -416,6 +478,21 @@ Image::linkerScript() const
         << SimStack::stackBytes << " B halves */ }\n";
     oss << "}\n";
     return oss.str();
+}
+
+std::map<std::pair<int, int>, Image::BoundaryStat>
+Image::boundaryStats() const
+{
+    std::map<std::pair<int, int>, BoundaryStat> out;
+    for (const auto &[pair, count] : crossings) {
+        BoundaryStat s;
+        s.from = comps[static_cast<std::size_t>(pair.first)]->spec.name;
+        s.to = comps[static_cast<std::size_t>(pair.second)]->spec.name;
+        s.policy = policyFor(pair.first, pair.second).name();
+        s.count = count;
+        out.emplace(pair, std::move(s));
+    }
+    return out;
 }
 
 } // namespace flexos

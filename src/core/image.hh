@@ -7,9 +7,12 @@
  * image owns the compartments (keys, heaps, static sections), the
  * shared heap, the DSS stack pool, one isolation backend per mechanism
  * present in the configuration, and the gate dispatch that library
- * code calls through FLEXOS gates. The mechanism is a per-boundary
- * knob: each crossing is routed through the *callee* compartment's
- * backend, so a single image can mix e.g. MPK and EPT compartments.
+ * code calls through FLEXOS gates. Every crossing is enforced under
+ * the (from, to) cell of the image's GateMatrix — by default the
+ * callee compartment's mechanism at full strength, overridable per
+ * boundary through the config's `boundaries:` section — so a single
+ * image can mix mechanisms *and* run different MPK gate flavours on
+ * different boundaries simultaneously.
  */
 
 #ifndef FLEXOS_CORE_IMAGE_HH
@@ -64,6 +67,12 @@ class Compartment
   public:
     int id = 0;
     ProtKey key = 0;
+    /**
+     * Key virtualization (EPT): the compartment's memory is modelled
+     * as unmapped outside its VM rather than key-tagged, so it holds
+     * no protection key and doesn't count against the key budget.
+     */
+    bool vmPrivate = false;
     CompartmentSpec spec;
 
     /** Combined hardening work multiplier (>= 1.0). */
@@ -156,16 +165,25 @@ class Image
             WorkMultGuard guard(mach, mult);
             return fn();
         }
-        checkEntry(calleeLib, fnName, to);
-        // Per-boundary dispatch: the *callee* compartment's mechanism
-        // decides how this crossing is enforced.
-        IsolationBackend &be = backendFor(to);
+        // Per-boundary dispatch: the (from, to) cell of the gate
+        // matrix decides how this crossing is enforced — mechanism,
+        // MPK flavour, entry validation and return-side scrubbing.
+        const GatePolicy &pol = policyFor(from, to);
+        if (pol.validateEntry) {
+            // Policy-forced caller-side entry validation: one probe of
+            // the callee's export table, whatever the mechanism's own
+            // rule (the functional check is in checkEntry below).
+            mach.consume(mach.timing.entryValidate);
+            mach.bump("gate.validate");
+        }
+        checkEntry(calleeLib, fnName, to, pol);
+        IsolationBackend &be = backendOf(pol.mech);
         if constexpr (std::is_void_v<R>) {
-            be.crossCall(*this, from, to, calleeLib, fnName, mult,
+            be.crossCall(*this, from, to, pol, calleeLib, fnName, mult,
                          [&] { fn(); });
         } else {
             std::optional<R> result;
-            be.crossCall(*this, from, to, calleeLib, fnName, mult,
+            be.crossCall(*this, from, to, pol, calleeLib, fnName, mult,
                          [&] { result.emplace(fn()); });
             return std::move(*result);
         }
@@ -229,11 +247,37 @@ class Image
         return crossings;
     }
 
+    /** One (from, to) boundary's traffic, named by its policy. */
+    struct BoundaryStat
+    {
+        std::string from;   ///< caller compartment name
+        std::string to;     ///< callee compartment name
+        std::string policy; ///< resolved GatePolicy::name()
+        std::uint64_t count = 0;
+    };
+
+    /**
+     * The per-(from, to) crossing ledger joined with the gate matrix:
+     * every boundary that carried traffic, labelled with the policy
+     * that enforced it. Map key is the (from, to) index pair.
+     */
+    std::map<std::pair<int, int>, BoundaryStat> boundaryStats() const;
+
     void
     noteCrossing(int from, int to)
     {
         ++crossings[{from, to}];
     }
+
+    /** The resolved policy of a (from, to) boundary. */
+    const GatePolicy &
+    policyFor(int from, int to) const
+    {
+        return gates.at(from, to);
+    }
+
+    /** The full policy matrix in force. */
+    const GateMatrix &gateMatrix() const { return gates; }
 
     Machine &machine() { return mach; }
     Scheduler &scheduler() { return sched; }
@@ -258,8 +302,8 @@ class Image
     friend class Toolchain;
 
     int resolveCallee(const std::string &lib, int from) const;
-    void checkEntry(const std::string &lib, const char *fnName,
-                    int to) const;
+    void checkEntry(const std::string &lib, const char *fnName, int to,
+                    const GatePolicy &pol) const;
     void registerRegions();
     void unregisterRegions();
 
@@ -267,6 +311,8 @@ class Image
     Scheduler &sched;
     SafetyConfig cfg;
     const LibraryRegistry &reg;
+    /** Resolved (from, to) gate-policy matrix. */
+    GateMatrix gates;
 
     std::vector<std::unique_ptr<Compartment>> comps;
     std::map<std::string, int> libToComp;

@@ -30,27 +30,36 @@ Toolchain::validate(const SafetyConfig &cfg) const
     std::map<Mechanism, std::unique_ptr<IsolationBackend>> probes;
     for (const CompartmentSpec &c : cfg.compartments)
         if (!probes.count(c.mechanism))
-            probes.emplace(c.mechanism,
-                           makeBackend(c.mechanism, cfg.mpkGate));
+            probes.emplace(c.mechanism, makeBackend(c.mechanism));
 
     // MPK key budget: 15 compartments + 1 shared key (paper 4.1).
-    // Only key-consuming compartments count against the MPK budget;
-    // EPT/none compartments in a mixed image don't occupy a *boundary*
-    // key. The simulated region model still tags every compartment's
-    // memory with a distinct key, so the total is capped at 15 too
-    // (lifting that needs key virtualization — see ROADMAP).
-    std::size_t mpkComps = 0;
-    for (const CompartmentSpec &c : cfg.compartments)
+    // Only key-consuming compartments count against the budget; with
+    // key virtualization, EPT compartments are VM-private (unmapped
+    // outside their VM) and take no key at all, so a mixed image may
+    // exceed 15 compartments as long as at most 15 of them are keyed.
+    std::size_t mpkComps = 0, keyedComps = 0;
+    for (const CompartmentSpec &c : cfg.compartments) {
         if (c.mechanism == Mechanism::IntelMpk ||
             c.mechanism == Mechanism::CubicleMpk)
             ++mpkComps;
+        if (mechanismConsumesProtKey(c.mechanism))
+            ++keyedComps;
+        fatal_if(c.serversExplicit && c.mechanism != Mechanism::VmEpt,
+                 "compartment '", c.name, "' sets servers: ", c.servers,
+                 " but only vm-ept compartments boot an RPC pool");
+    }
     fatal_if(mpkComps > numProtKeys - 1, "MPK supports at most ",
              numProtKeys - 1, " compartments");
-    fatal_if(cfg.compartments.size() > numProtKeys - 1,
+    fatal_if(keyedComps > numProtKeys - 1,
              "the key-tagged region model supports at most ",
              numProtKeys - 1,
-             " compartments per image (one key is reserved for the "
-             "shared domain)");
+             " key-consuming compartments per image (one key is "
+             "reserved for the shared domain; EPT compartments are "
+             "VM-private and keyless)");
+
+    // Resolving the matrix validates the boundary rules: it fatals on
+    // rules naming unknown compartments.
+    (void)GateMatrix::build(cfg);
 
     // Library assignments.
     std::set<std::string> assigned;
@@ -125,9 +134,13 @@ Toolchain::build(Machine &m, Scheduler &s, const SafetyConfig &cfg)
                 !(calleeInfo.tcb &&
                   img->backendFor(callerComp).replicatesTcb());
             if (crosses) {
+                // Name the boundary's resolved policy, not just the
+                // mechanism: flavour/validate/scrub overrides show up
+                // in the transformation record.
                 line << lib << ": flexos_gate(" << callee
                      << ", ...) -> "
-                     << img->backendFor(calleeComp).name() << " gate ["
+                     << img->policyFor(callerComp, calleeComp).name()
+                     << " gate ["
                      << cfg.compartments[static_cast<std::size_t>(
                                              callerComp)]
                             .name

@@ -46,11 +46,13 @@ class Toolchain
      * Check a configuration for user errors. Throws FatalError on:
      * missing/duplicate default compartment, unknown libraries or
      * compartments, double library assignment, MPK key exhaustion
-     * (counting only key-consuming compartments), or TCB libraries
-     * placed outside the trusted compartment when any compartment's
-     * mechanism does not replicate the kernel. Mixed-mechanism
-     * configurations are legal: each compartment's boundary is
-     * enforced by its own mechanism's backend.
+     * (counting only key-consuming compartments — EPT compartments
+     * are VM-private and keyless), boundary rules naming unknown
+     * compartments, `servers:` on non-EPT compartments, or TCB
+     * libraries placed outside the trusted compartment when any
+     * compartment's mechanism does not replicate the kernel.
+     * Mixed-mechanism configurations are legal: each (from, to)
+     * boundary is enforced under its GateMatrix policy.
      */
     void validate(const SafetyConfig &cfg) const;
 

@@ -27,6 +27,29 @@ ConfigPoint::mechanismRankOf(std::size_t c) const
     return blockMechanism[block];
 }
 
+int
+ConfigPoint::gateFlavorRankOf(std::size_t c) const
+{
+    if (blockGateFlavor.empty())
+        return 1; // full DSS gate everywhere by default
+    panic_if(c >= partition.size(), "component index out of range");
+    auto block = static_cast<std::size_t>(partition[c]);
+    panic_if(block >= blockGateFlavor.size(),
+             "partition block without a gate-flavour assignment");
+    return blockGateFlavor[block];
+}
+
+bool
+mechanismRankLe(int a, int b)
+{
+    if (a == b)
+        return true;
+    if (a > b)
+        return false;
+    // a < b is ordered except across the ept(2)/cheri(3) antichain.
+    return !(a == 2 && b == 3);
+}
+
 bool
 refines(const std::vector<int> &a, const std::vector<int> &b)
 {
@@ -89,22 +112,37 @@ compareSafety(const ConfigPoint &a, const ConfigPoint &b)
 
     // 3) Mechanism strength, component-wise: with per-block mechanisms
     // (mixed images) a config dominates only if every component's
-    // boundary is at least as strong. Homogeneous configs degenerate
-    // to the scalar-rank comparison.
+    // boundary is at least as strong — under the partial mechanism
+    // order (ept and cheri are incomparable). Homogeneous configs
+    // degenerate to the scalar-rank comparison.
     bool aMechLe = true, bMechLe = true;
     if (a.partition.empty()) {
-        aMechLe = a.mechanismRank <= b.mechanismRank;
-        bMechLe = b.mechanismRank <= a.mechanismRank;
+        aMechLe = mechanismRankLe(a.mechanismRank, b.mechanismRank);
+        bMechLe = mechanismRankLe(b.mechanismRank, a.mechanismRank);
     }
     for (std::size_t c = 0; c < a.partition.size(); ++c) {
         int ra = a.mechanismRankOf(c);
         int rb = b.mechanismRankOf(c);
-        if (ra > rb)
+        if (!mechanismRankLe(ra, rb))
             aMechLe = false;
-        if (rb > ra)
+        if (!mechanismRankLe(rb, ra))
             bMechLe = false;
     }
     acc = combine(acc, aMechLe, bMechLe);
+
+    // 3b) Per-boundary MPK gate flavour, component-wise: the DSS gate
+    // (register scrub + stack switch) dominates the light gate on
+    // every boundary it guards.
+    bool aFlavLe = true, bFlavLe = true;
+    for (std::size_t c = 0; c < a.partition.size(); ++c) {
+        int ra = a.gateFlavorRankOf(c);
+        int rb = b.gateFlavorRankOf(c);
+        if (ra > rb)
+            aFlavLe = false;
+        if (rb > ra)
+            bFlavLe = false;
+    }
+    acc = combine(acc, aFlavLe, bFlavLe);
 
     // 4) Data-isolation strength.
     acc = combine(acc, a.sharingRank <= b.sharingRank,

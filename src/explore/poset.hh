@@ -31,21 +31,32 @@ struct ConfigPoint
     std::vector<int> partition;
     /** Per-component hardening bitmask (bit per mechanism). */
     std::vector<unsigned> hardening;
-    /** Mechanism strength rank (none=0 < mpk=1 < ept=2). */
+    /** Mechanism strength rank (see mechanismRankLe for the order). */
     int mechanismRank = 1;
     /**
      * Per-block mechanism rank for mixed-mechanism images, indexed by
-     * partition block id (none=0 < mpk=1 < ept=2). Empty means the
-     * image is homogeneous at mechanismRank. When set, the safety
-     * comparison is component-wise: every component's boundary must be
-     * at least as strong for one config to dominate the other.
+     * partition block id (none=0, mpk=1, ept=2, cheri=3 — see
+     * mechanismRankLe). Empty means the image is homogeneous at
+     * mechanismRank. When set, the safety comparison is
+     * component-wise: every component's boundary must be at least as
+     * strong for one config to dominate the other.
      */
     std::vector<int> blockMechanism;
+    /**
+     * Per-block MPK gate flavour rank (light=0 < dss=1), indexed by
+     * partition block id: the flavour of gates *into* that block.
+     * Empty means every boundary runs the full DSS gate. Ordered
+     * component-wise like blockMechanism, so light < dss per block.
+     */
+    std::vector<int> blockGateFlavor;
     /** Data-isolation rank (shared stack=0 < dss=1 < private+heap=2). */
     int sharingRank = 1;
 
     /** Mechanism rank protecting component c's compartment boundary. */
     int mechanismRankOf(std::size_t c) const;
+
+    /** Gate-flavour rank of component c's boundary (default dss=1). */
+    int gateFlavorRankOf(std::size_t c) const;
 
     std::string label;
 
@@ -58,6 +69,15 @@ struct ConfigPoint
 
 /** Result of comparing two configurations by safety. */
 enum class SafetyOrder { Less, Equal, Greater, Incomparable };
+
+/**
+ * The mechanism-strength dimension is itself a partial order:
+ * none(0) < mpk(1) < {ept(2), cheri(3)}, with ept and cheri
+ * incomparable — VM-grade address-space isolation and capability-
+ * grade spatial safety protect against different attacker models.
+ * Returns whether rank a is at most rank b in that order.
+ */
+bool mechanismRankLe(int a, int b);
 
 /**
  * Compare a and b. Greater means "a is probabilistically safer".

@@ -61,6 +61,8 @@ mechanismNameOfRank(int rank)
         return "intel-mpk";
       case 2:
         return "vm-ept";
+      case 3:
+        return "cheri";
     }
     fatal("unknown mechanism rank ", rank);
 }
@@ -75,10 +77,10 @@ mixedMechanismSpace()
         ConfigPoint base;
         base.partition = partition;
         int nBlocks = base.compartments();
-        // Every assignment from {none, mpk, ept}^nBlocks.
+        // Every assignment from {none, mpk, ept, cheri}^nBlocks.
         int total = 1;
         for (int b = 0; b < nBlocks; ++b)
-            total *= 3;
+            total *= 4;
         for (int code = 0; code < total; ++code) {
             ConfigPoint p;
             p.partition = partition;
@@ -86,9 +88,34 @@ mixedMechanismSpace()
             p.blockMechanism.resize(static_cast<std::size_t>(nBlocks));
             int rest = code;
             for (int b = 0; b < nBlocks; ++b) {
-                p.blockMechanism[static_cast<std::size_t>(b)] = rest % 3;
-                rest /= 3;
+                p.blockMechanism[static_cast<std::size_t>(b)] = rest % 4;
+                rest /= 4;
             }
+            p.sharingRank = 1; // DSS
+            out.push_back(std::move(p));
+        }
+    }
+    return out;
+}
+
+std::vector<ConfigPoint>
+gateFlavorSpace()
+{
+    std::vector<ConfigPoint> out;
+    for (const auto &partition : fig6Partitions()) {
+        ConfigPoint base;
+        base.partition = partition;
+        int nBlocks = base.compartments();
+        // Every assignment from {light, dss}^nBlocks, all-MPK.
+        for (int code = 0; code < (1 << nBlocks); ++code) {
+            ConfigPoint p;
+            p.partition = partition;
+            p.hardening.assign(partition.size(), 0);
+            p.mechanismRank = 1; // MPK
+            p.blockGateFlavor.resize(static_cast<std::size_t>(nBlocks));
+            for (int b = 0; b < nBlocks; ++b)
+                p.blockGateFlavor[static_cast<std::size_t>(b)] =
+                    (code >> b) & 1;
             p.sharingRank = 1; // DSS
             out.push_back(std::move(p));
         }
@@ -129,6 +156,25 @@ toSafetyConfig(const ConfigPoint &point, const std::string &appLib)
     cfg << "- uktime: comp" << appBlock + 1 << "\n";
     if (appLib == "libnginx")
         cfg << "- vfscore: comp" << appBlock + 1 << "\n";
+    // Per-block gate flavours materialize as callee-side wildcard
+    // boundary rules: gates *into* a light block run the ERIM-style
+    // light gate (the default is dss, so only light needs a rule).
+    if (!point.blockGateFlavor.empty()) {
+        panic_if(static_cast<int>(point.blockGateFlavor.size()) !=
+                     nBlocks,
+                 "gate-flavour arity mismatch");
+        bool anyLight = false;
+        for (int f : point.blockGateFlavor)
+            anyLight = anyLight || f == 0;
+        if (anyLight) {
+            cfg << "boundaries:\n";
+            for (int b = 0; b < nBlocks; ++b)
+                if (point.blockGateFlavor[static_cast<std::size_t>(b)] ==
+                    0)
+                    cfg << "- '*' -> comp" << b + 1
+                        << ": {gate: light}\n";
+        }
+    }
     return SafetyConfig::parse(cfg.str());
 }
 
@@ -157,7 +203,7 @@ pointLabel(const ConfigPoint &point, const std::string &appLib)
         oss << (point.hardening[c] ? "●" : "○");
     oss << "]";
     if (!point.blockMechanism.empty()) {
-        static const char *short_[] = {"none", "mpk", "ept"};
+        static const char *short_[] = {"none", "mpk", "ept", "cheri"};
         oss << " {";
         for (std::size_t b = 0; b < point.blockMechanism.size(); ++b) {
             if (b)
@@ -165,6 +211,15 @@ pointLabel(const ConfigPoint &point, const std::string &appLib)
             oss << short_[point.blockMechanism[b]];
         }
         oss << "}";
+    }
+    if (!point.blockGateFlavor.empty()) {
+        oss << " <";
+        for (std::size_t b = 0; b < point.blockGateFlavor.size(); ++b) {
+            if (b)
+                oss << "/";
+            oss << (point.blockGateFlavor[b] == 0 ? "light" : "dss");
+        }
+        oss << ">";
     }
     return oss.str();
 }

@@ -35,17 +35,29 @@ std::vector<ConfigPoint> fig6Space();
 /**
  * The mixed-mechanism dimension of the configuration space: the five
  * Figure 8 partitions crossed with every per-block mechanism
- * assignment from {none, intel-mpk, vm-ept} (no hardening, DSS). A
- * homogeneous assignment reproduces a fig6-style point; the rest are
- * heterogeneous images where each boundary picks its own mechanism.
+ * assignment from {none, intel-mpk, vm-ept, cheri} (no hardening,
+ * DSS). A homogeneous assignment reproduces a fig6-style point; the
+ * rest are heterogeneous images where each boundary picks its own
+ * mechanism.
  */
 std::vector<ConfigPoint> mixedMechanismSpace();
+
+/**
+ * The per-boundary gate-flavour dimension: the five Figure 8
+ * partitions (all-MPK, no hardening) crossed with every per-block
+ * flavour assignment from {light, dss} — each block's flavour governs
+ * the gates *into* it, materialized as a `'*' -> block` boundary
+ * rule. light < dss orders the points component-wise in the poset.
+ */
+std::vector<ConfigPoint> gateFlavorSpace();
 
 /**
  * Materialize a sweep point as a full safety configuration for the
  * given application (DSS, as Figure 6 fixes). Homogeneous points map
  * every compartment to intel-mpk; points carrying blockMechanism get
- * one mechanism per compartment (none/intel-mpk/vm-ept by rank).
+ * one mechanism per compartment (none/intel-mpk/vm-ept/cheri by
+ * rank); points carrying blockGateFlavor emit a `boundaries:` section
+ * with one wildcard rule per light block.
  */
 SafetyConfig toSafetyConfig(const ConfigPoint &point,
                             const std::string &appLib);

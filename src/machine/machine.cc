@@ -63,10 +63,16 @@ Machine::checkAccess(const void *p, std::size_t size, AccessType at)
     // real paging faults on the first offending page even when the
     // access *starts* in unregistered (or permitted) memory and only
     // extends into a denied region. Unregistered bytes are
-    // simulator-internal and pass.
+    // simulator-internal and pass. VM-private regions (EPT key
+    // virtualization) bypass the PKRU entirely: they are mapped only
+    // inside their owning VM's second-level page tables.
     const MemRegion *denied = nullptr;
     memMap.forEachOverlap(p, size, [&](const MemRegion &r) {
-        if (!denied && !pkru.permits(r.key, at))
+        if (denied)
+            return;
+        bool ok = r.vmOwner >= 0 ? currentVm == r.vmOwner
+                                 : pkru.permits(r.key, at);
+        if (!ok)
             denied = &r;
     });
     if (!denied)

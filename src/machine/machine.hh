@@ -104,6 +104,15 @@ class Machine
     Pkru pkru;
 
     /**
+     * VM whose second-level page tables are active, or -1 outside any
+     * VM (key virtualization: EPT compartments are modelled as
+     * "unmapped outside their VM" instead of key-tagged, so they don't
+     * consume PKRU keys). Swapped alongside pkru by the scheduler and
+     * the gates' domain transitions.
+     */
+    int currentVm = -1;
+
+    /**
      * MMU access check: every registered region overlapping
      * [p, p+size) must carry a key the current PKRU permits; the first
      * denied region faults per the enforcement mode. Unregistered

@@ -23,7 +23,17 @@ MemoryMap::add(const void *base, std::size_t size, ProtKey key,
                  "region '", name, "' overlaps '", it->second.name, "'");
     }
 
-    regions.emplace(addr, MemRegion{addr, size, key, std::move(name)});
+    regions.emplace(addr,
+                    MemRegion{addr, size, key, -1, std::move(name)});
+}
+
+void
+MemoryMap::addVmPrivate(const void *base, std::size_t size, int vmOwner,
+                        std::string name)
+{
+    panic_if(vmOwner < 0, "VM-private region needs an owner");
+    add(base, size, 0, std::move(name));
+    regions[reinterpret_cast<std::uintptr_t>(base)].vmOwner = vmOwner;
 }
 
 void

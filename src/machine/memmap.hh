@@ -21,12 +21,19 @@
 
 namespace flexos {
 
-/** A contiguous key-tagged memory region. */
+/** A contiguous key-tagged or VM-private memory region. */
 struct MemRegion
 {
     std::uintptr_t base = 0;
     std::size_t size = 0;
     ProtKey key = 0;
+    /**
+     * Owning VM for EPT-compartment memory, or -1 for key-tagged
+     * regions. A VM-private region is unmapped outside its VM: the
+     * access check compares the machine's active VM token instead of
+     * the PKRU, and the region consumes no protection key.
+     */
+    int vmOwner = -1;
     std::string name;
 
     bool
@@ -45,6 +52,10 @@ class MemoryMap
     /** Register a region. @return the region id (its base). */
     void add(const void *base, std::size_t size, ProtKey key,
              std::string name);
+
+    /** Register a VM-private region (unmapped outside VM `vmOwner`). */
+    void addVmPrivate(const void *base, std::size_t size, int vmOwner,
+                      std::string name);
 
     /** Remove the region starting exactly at base. */
     void remove(const void *base);

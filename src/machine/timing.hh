@@ -59,6 +59,12 @@ struct TimingModel
     Cycles registerSaveZero = 26;
     /** Per-thread per-compartment call-stack switch via stack registry. */
     Cycles stackSwitch = 20;
+    /**
+     * Caller-side entry-point validation forced by a boundary policy
+     * (`validate: true`): one hash-table probe of the callee's export
+     * table, comparable to the RPC server's dispatch check.
+     */
+    Cycles entryValidate = 18;
     /** @} */
 
     /** @name Baseline OS crossing costs (derived from Figure 10). @{ */

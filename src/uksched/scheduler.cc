@@ -219,6 +219,7 @@ Scheduler::switchTo(Thread *t)
     // multiplier, then give the backend hook a chance to extend the
     // switch (stack registry etc.).
     mach.pkru = t->pkru;
+    mach.currentVm = t->vm;
     mach.workMultiplier = t->workMult;
     if (onSwitch)
         onSwitch(prev, t);
@@ -242,6 +243,7 @@ Scheduler::switchTo(Thread *t)
     if (running == t && t->state_ == Thread::State::Finished)
         running = nullptr;
     mach.pkru = Pkru(Pkru::allowAllValue);
+    mach.currentVm = -1;
     mach.chargingEnabled = true;
     mach.workMultiplier = 1.0;
 }
@@ -254,9 +256,11 @@ Scheduler::switchOut()
     // Save the thread's protection-domain state; the scheduler itself
     // runs with an unrestricted PKRU (it is TCB).
     self->pkru = mach.pkru;
+    self->vm = mach.currentVm;
     self->workMult = mach.workMultiplier;
     running = nullptr;
     mach.pkru = Pkru(Pkru::allowAllValue);
+    mach.currentVm = -1;
     mach.chargingEnabled = true;
     mach.workMultiplier = 1.0;
 #ifdef FLEXOS_ASAN_FIBERS

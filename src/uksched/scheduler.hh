@@ -66,6 +66,13 @@ class Thread
     Pkru pkru;
 
     /**
+     * VM the thread executes in (-1 outside any VM): threads living in
+     * an EPT compartment see its VM-private memory, which is unmapped
+     * for everyone else (key virtualization). Swapped like pkru.
+     */
+    int vm = -1;
+
+    /**
      * Compartment the thread is currently executing in; maintained by
      * call gates. Compartment 0 is the default compartment.
      */

@@ -290,8 +290,9 @@ TEST(CompareSafety, MixedComparableWithHomogeneousScalar)
 TEST(Wayfinder, MixedSpaceEnumeratesPerBlockAssignments)
 {
     auto space = wayfinder::mixedMechanismSpace();
-    // 5 partitions with {1,2,2,2,3} blocks: 3 + 9 + 9 + 9 + 27.
-    EXPECT_EQ(space.size(), 57u);
+    // 5 partitions with {1,2,2,2,3} blocks over {none, mpk, ept,
+    // cheri}: 4 + 16 + 16 + 16 + 64.
+    EXPECT_EQ(space.size(), 116u);
     std::set<std::string> seen;
     for (const auto &p : space) {
         EXPECT_EQ(p.blockMechanism.size(),
@@ -304,7 +305,7 @@ TEST(Wayfinder, MixedSpaceEnumeratesPerBlockAssignments)
             key += std::to_string(m);
         seen.insert(key);
     }
-    EXPECT_EQ(seen.size(), 57u);
+    EXPECT_EQ(seen.size(), 116u);
 }
 
 TEST(Wayfinder, MixedConfigsValidateAndMaterializeMechanisms)
@@ -319,15 +320,13 @@ TEST(Wayfinder, MixedConfigsValidateAndMaterializeMechanisms)
         if (cfg.mechanisms().size() > 1)
             ++heterogeneous;
         // Each block's compartment carries its assigned mechanism.
+        static const Mechanism byRank[] = {
+            Mechanism::None, Mechanism::IntelMpk, Mechanism::VmEpt,
+            Mechanism::Cheri};
         for (std::size_t c = 0; c < p.partition.size(); ++c) {
             Mechanism want =
-                p.blockMechanism[static_cast<std::size_t>(
-                    p.partition[c])] == 0
-                    ? Mechanism::None
-                    : p.blockMechanism[static_cast<std::size_t>(
-                          p.partition[c])] == 1
-                          ? Mechanism::IntelMpk
-                          : Mechanism::VmEpt;
+                byRank[p.blockMechanism[static_cast<std::size_t>(
+                    p.partition[c])]];
             EXPECT_EQ(cfg.compartments[static_cast<std::size_t>(
                                            p.partition[c])]
                           .mechanism,
@@ -364,9 +363,17 @@ TEST(Wayfinder, MixedPointMeasuresBetweenHomogeneousCorners)
 TEST(Wayfinder, MixedLabelsRenderMechanisms)
 {
     auto space = wayfinder::mixedMechanismSpace();
+    // The last point of the last partition is all-cheri; an all-ept
+    // point appears earlier in the same enumeration.
     std::string label = wayfinder::pointLabel(space.back(), "libredis");
     EXPECT_NE(label.find("{"), std::string::npos);
-    EXPECT_NE(label.find("ept"), std::string::npos);
+    EXPECT_NE(label.find("cheri"), std::string::npos);
+    bool sawEpt = false;
+    for (const auto &p : space)
+        if (wayfinder::pointLabel(p, "libredis").find("ept") !=
+            std::string::npos)
+            sawEpt = true;
+    EXPECT_TRUE(sawEpt);
 }
 
 TEST(Wayfinder, LabelsRenderPartitionAndHardening)

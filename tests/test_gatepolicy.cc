@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Gate-policy matrix tests: `boundaries:` parse/toText round-trip,
+ * wildcard precedence, validation of rules naming unknown
+ * compartments, per-(from, to) policy counters under a mixed
+ * light/dss image, asymmetric return policies, the per-compartment
+ * EPT server pool (`servers:` + elastic growth + ringDepth), and key
+ * virtualization (EPT compartments unmapped instead of key-tagged).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/deploy.hh"
+#include "core/image.hh"
+#include "core/toolchain.hh"
+
+namespace flexos {
+namespace {
+
+struct GatePolicyFixture : ::testing::Test
+{
+    GatePolicyFixture()
+        : scope(mach), sched(mach), reg(LibraryRegistry::standard()),
+          tc(reg)
+    {
+    }
+
+    std::unique_ptr<Image>
+    buildFrom(const std::string &text)
+    {
+        SafetyConfig cfg = SafetyConfig::parse(text);
+        cfg.heapBytes = 1 << 20;
+        cfg.sharedHeapBytes = 1 << 20;
+        return tc.build(mach, sched, cfg);
+    }
+
+    Machine mach;
+    MachineScope scope;
+    Scheduler sched;
+    LibraryRegistry reg;
+    Toolchain tc;
+};
+
+// --------------------------------------------------- config surface
+
+TEST_F(GatePolicyFixture, BoundariesParseAndRoundTripThroughToText)
+{
+    const char *text = R"(
+compartments:
+- app:
+    mechanism: intel-mpk
+    default: True
+- sys:
+    mechanism: intel-mpk
+- net:
+    mechanism: vm-ept
+    servers: 5
+libraries:
+- libredis: app
+- uksched: sys
+- lwip: net
+boundaries:
+- app -> sys: {gate: light}
+- '*' -> net: {gate: dss, validate: true}
+- net -> '*': {scrub: false}
+)";
+    SafetyConfig cfg = SafetyConfig::parse(text);
+    ASSERT_EQ(cfg.boundaries.size(), 3u);
+    EXPECT_EQ(cfg.boundaries[0].from, "app");
+    EXPECT_EQ(cfg.boundaries[0].to, "sys");
+    EXPECT_EQ(cfg.boundaries[0].flavor, MpkGateFlavor::Light);
+    EXPECT_FALSE(cfg.boundaries[0].validate.has_value());
+    EXPECT_EQ(cfg.boundaries[1].from, "*");
+    EXPECT_EQ(cfg.boundaries[1].validate, true);
+    EXPECT_EQ(cfg.boundaries[2].scrub, false);
+    EXPECT_EQ(cfg.compartment("net").servers, 5);
+
+    // toText() serializes the section back; reparsing reproduces the
+    // exact rules and the same resolved matrix.
+    SafetyConfig again = SafetyConfig::parse(cfg.toText());
+    EXPECT_EQ(again.boundaries, cfg.boundaries);
+    EXPECT_EQ(again.compartment("net").servers, 5);
+    GateMatrix m1 = GateMatrix::build(cfg);
+    GateMatrix m2 = GateMatrix::build(again);
+    for (int f = 0; f < 3; ++f)
+        for (int t = 0; t < 3; ++t)
+            EXPECT_EQ(m1.at(f, t), m2.at(f, t));
+}
+
+TEST_F(GatePolicyFixture, WildcardPrecedenceLayersBySpecificity)
+{
+    // Callee-side wildcards override caller-side ones (the historical
+    // callee-decides rule), exact pairs override both, and unset
+    // fields fall through to the less specific layer.
+    SafetyConfig cfg = SafetyConfig::parse(R"(
+compartments:
+- a:
+    mechanism: intel-mpk
+    default: True
+- b:
+    mechanism: intel-mpk
+- c:
+    mechanism: intel-mpk
+libraries:
+- libredis: a
+boundaries:
+- '*' -> '*': {validate: true}
+- a -> '*': {gate: light}
+- '*' -> b: {gate: dss}
+- a -> b: {scrub: false}
+)");
+    GateMatrix m = GateMatrix::build(cfg);
+
+    // a -> c: caller-side wildcard flavour, global validate.
+    EXPECT_EQ(m.at(0, 2).flavor, MpkGateFlavor::Light);
+    EXPECT_TRUE(m.at(0, 2).validateEntry);
+    EXPECT_TRUE(m.at(0, 2).scrubReturn);
+    // a -> b: callee-side dss beats caller-side light; the exact rule
+    // adds scrub: false without disturbing either.
+    EXPECT_EQ(m.at(0, 1).flavor, MpkGateFlavor::Dss);
+    EXPECT_TRUE(m.at(0, 1).validateEntry);
+    EXPECT_FALSE(m.at(0, 1).scrubReturn);
+    // c -> b: callee-side rule only.
+    EXPECT_EQ(m.at(2, 1).flavor, MpkGateFlavor::Dss);
+    // c -> a: untouched by flavour rules -> default dss.
+    EXPECT_EQ(m.at(2, 0).flavor, MpkGateFlavor::Dss);
+    EXPECT_TRUE(m.at(2, 0).validateEntry);
+    // Policy names carry the overrides.
+    EXPECT_EQ(m.at(0, 1).name(),
+              std::string("intel-mpk(dss)+validate-scrub"));
+}
+
+TEST_F(GatePolicyFixture, LegacyMpkGateKnobDesugarsToWildcardRule)
+{
+    SafetyConfig cfg = SafetyConfig::parse(R"(
+compartments:
+- c1:
+    mechanism: intel-mpk
+    default: True
+- c2:
+    mechanism: intel-mpk
+libraries:
+- libredis: c1
+- lwip: c2
+mpk_gate: light
+)");
+    ASSERT_EQ(cfg.boundaries.size(), 1u);
+    EXPECT_EQ(cfg.boundaries[0].from, "*");
+    EXPECT_EQ(cfg.boundaries[0].to, "*");
+    EXPECT_EQ(cfg.boundaries[0].flavor, MpkGateFlavor::Light);
+    GateMatrix m = GateMatrix::build(cfg);
+    EXPECT_EQ(m.at(0, 1).flavor, MpkGateFlavor::Light);
+    EXPECT_EQ(m.at(1, 0).flavor, MpkGateFlavor::Light);
+}
+
+TEST_F(GatePolicyFixture, ValidateRejectsBoundariesNamingUnknowns)
+{
+    // lint-skip: intentionally invalid configuration.
+    SafetyConfig cfg = SafetyConfig::parse(R"(
+compartments:
+- a:
+    mechanism: intel-mpk
+    default: True
+libraries:
+- libredis: a
+boundaries:
+- a -> ghost: {gate: light}
+)");
+    EXPECT_THROW(tc.validate(cfg), FatalError);
+
+    // lint-skip: servers on a non-EPT compartment is a user error.
+    SafetyConfig cfg2 = SafetyConfig::parse(R"(
+compartments:
+- a:
+    mechanism: intel-mpk
+    default: True
+    servers: 4
+libraries:
+- libredis: a
+)");
+    EXPECT_THROW(tc.validate(cfg2), FatalError);
+
+    EXPECT_THROW(SafetyConfig::parse(R"(
+# lint-skip: intentionally invalid (unknown flavour name)
+compartments:
+- a:
+    mechanism: intel-mpk
+    default: True
+libraries:
+- libredis: a
+boundaries:
+- a -> a: {gate: sideways}
+)"),
+                 FatalError);
+}
+
+// ----------------------------------------------- dispatch under load
+
+/** Hot trusted boundary on light, attacker-facing one on dss. */
+const char *mixedFlavorConfig = R"(
+compartments:
+- app:
+    mechanism: intel-mpk
+    default: True
+- hot:
+    mechanism: intel-mpk
+- cold:
+    mechanism: intel-mpk
+libraries:
+- libredis: app
+- uksched: hot
+- lwip: cold
+boundaries:
+- app -> hot: {gate: light}
+)";
+
+TEST_F(GatePolicyFixture, TwoMpkFlavorsRunSimultaneously)
+{
+    auto img = buildFrom(mixedFlavorConfig);
+    bool done = false;
+    img->spawnIn("libredis", "t", [&] {
+        for (int i = 0; i < 3; ++i)
+            img->gate("uksched", "yield", [] {}); // app -> hot: light
+        img->gate("lwip", "recv", [] {});         // app -> cold: dss
+        done = true;
+    });
+    sched.runUntil([&] { return done; });
+    ASSERT_TRUE(done);
+
+    // Both flavours carried traffic in the same image — the global
+    // knob could only ever produce one of these counters.
+    EXPECT_EQ(mach.counter("gate.mpk.light"), 3u);
+    EXPECT_EQ(mach.counter("gate.mpk.dss"), 1u);
+
+    // The per-(from, to) ledger names each boundary's policy.
+    auto stats = img->boundaryStats();
+    ASSERT_TRUE(stats.count({0, 1}));
+    ASSERT_TRUE(stats.count({0, 2}));
+    EXPECT_EQ(stats.at({0, 1}).policy, "intel-mpk(light)");
+    EXPECT_EQ(stats.at({0, 1}).count, 3u);
+    EXPECT_EQ(stats.at({0, 2}).policy, "intel-mpk(dss)");
+    EXPECT_EQ(stats.at({0, 2}).count, 1u);
+    EXPECT_EQ(stats.at({0, 1}).from, "app");
+    EXPECT_EQ(stats.at({0, 1}).to, "hot");
+
+    // The linker script records the matrix.
+    std::string ls = img->linkerScript();
+    EXPECT_NE(ls.find("app -> hot : intel-mpk(light)"),
+              std::string::npos);
+    EXPECT_NE(ls.find("app -> cold : intel-mpk(dss)"),
+              std::string::npos);
+    img->shutdown();
+}
+
+TEST_F(GatePolicyFixture, PolicyValidateForcesEntryCheckOnMpkBoundary)
+{
+    auto img = buildFrom(R"(
+compartments:
+- app:
+    mechanism: intel-mpk
+    default: True
+- sys:
+    mechanism: intel-mpk
+libraries:
+- libredis: app
+- uksched: sys
+boundaries:
+- app -> sys: {validate: true}
+)");
+    bool rejected = false, ran = false;
+    img->spawnIn("libredis", "t", [&] {
+        // MPK gates don't validate entry points on their own (no CFI
+        // here); the policy forces the check.
+        try {
+            img->gate("uksched", "not_an_entry_point", [] {});
+        } catch (const CfiViolation &) {
+            rejected = true;
+        }
+        img->gate("uksched", "yield", [&] { ran = true; });
+    });
+    sched.runUntil([&] { return ran; });
+    EXPECT_TRUE(rejected);
+    EXPECT_TRUE(ran);
+    EXPECT_GT(mach.counter("gate.validate"), 0u);
+    img->shutdown();
+}
+
+TEST_F(GatePolicyFixture, AsymmetricReturnPolicyIsCheaper)
+{
+    auto cost = [&](const char *extra) {
+        Machine m2;
+        MachineScope s2(m2);
+        Scheduler sched2(m2);
+        Toolchain tc2(reg);
+        SafetyConfig cfg = SafetyConfig::parse(
+            std::string(R"(
+compartments:
+- c1:
+    mechanism: intel-mpk
+    default: True
+- c2:
+    mechanism: intel-mpk
+libraries:
+- libredis: c1
+- lwip: c2
+)") + extra);
+        cfg.heapBytes = 1 << 20;
+        cfg.sharedHeapBytes = 1 << 20;
+        auto img = tc2.build(m2, sched2, cfg);
+        Cycles before = 0, after = 0;
+        img->spawnIn("libredis", "t", [&] {
+            // Warm up the sim stack so both runs charge identically.
+            img->gate("lwip", "recv", [] {});
+            before = m2.cycles();
+            for (int i = 0; i < 100; ++i)
+                img->gate("lwip", "recv", [] {});
+            after = m2.cycles();
+        });
+        sched2.run();
+        return after - before;
+    };
+    Cycles scrubbed = cost("");
+    Cycles unscrubbed = cost("boundaries:\n- c1 -> c2: {scrub: false}\n");
+    EXPECT_LT(unscrubbed, scrubbed);
+    // Exactly the return-side register save/zero per crossing.
+    EXPECT_EQ(scrubbed - unscrubbed,
+              100 * mach.timing.registerSaveZero);
+}
+
+// --------------------------------------------------- EPT server pool
+
+TEST_F(GatePolicyFixture, EptPoolGrowsElasticallyAndTracksRingDepth)
+{
+    auto img = buildFrom(R"(
+compartments:
+- app:
+    mechanism: intel-mpk
+    default: True
+- net:
+    mechanism: vm-ept
+    servers: 1
+libraries:
+- libredis: app
+- lwip: net
+)");
+    WaitQueue never(sched);
+    int inBody = 0;
+    for (int i = 0; i < 3; ++i) {
+        img->spawnIn("libredis", "caller-" + std::to_string(i), [&] {
+            img->gate("lwip", "recv", [&] {
+                ++inBody;
+                never.wait();
+            });
+        });
+    }
+    EXPECT_FALSE(sched.run()); // all callers blocked in RPC bodies
+
+    // The base pool of 1 grew to absorb the three concurrent blocked
+    // bodies; the ring's high-water mark was recorded before growth
+    // caught up.
+    EXPECT_EQ(inBody, 3);
+    EXPECT_EQ(mach.counter("gate.ept.elasticSpawns"), 2u);
+    EXPECT_EQ(mach.counter("gate.ept.ringDepth"), 3u);
+
+    img->shutdown();
+    EXPECT_EQ(mach.counter("gate.ept.shutdownCancels"), 3u);
+    sched.run();
+}
+
+// ------------------------------------------------ key virtualization
+
+TEST_F(GatePolicyFixture, EptCompartmentsConsumeNoKeysLiftingTheCap)
+{
+    // 15 keyed MPK compartments + 5 EPT ones: 20 compartments total,
+    // impossible under the old key-tagged region model, legal with
+    // EPT memory modelled as unmapped outside its VM.
+    std::string text = "compartments:\n";
+    for (int i = 0; i < 15; ++i) {
+        text += "- m" + std::to_string(i) + ":\n";
+        text += "    mechanism: intel-mpk\n";
+        if (i == 0)
+            text += "    default: True\n";
+    }
+    for (int i = 0; i < 5; ++i) {
+        text += "- e" + std::to_string(i) + ":\n";
+        text += "    mechanism: vm-ept\n";
+        text += "    servers: 1\n";
+    }
+    text += "libraries:\n- libredis: m0\n- lwip: e0\n";
+
+    SafetyConfig cfg = SafetyConfig::parse(text);
+    cfg.heapBytes = 64 * 1024;
+    cfg.sharedHeapBytes = 64 * 1024;
+    auto img = tc.build(mach, sched, cfg);
+
+    // Keyed compartments take keys 0..14; EPT ones are VM-private.
+    for (std::size_t i = 0; i < 15; ++i) {
+        EXPECT_FALSE(img->compartmentAt(i).vmPrivate);
+        EXPECT_EQ(img->compartmentAt(i).key, static_cast<ProtKey>(i));
+    }
+    for (std::size_t i = 15; i < 20; ++i)
+        EXPECT_TRUE(img->compartmentAt(i).vmPrivate);
+    img->shutdown();
+}
+
+TEST_F(GatePolicyFixture, VmPrivateMemoryUnmappedOutsideItsVm)
+{
+    auto img = buildFrom(R"(
+compartments:
+- app:
+    mechanism: intel-mpk
+    default: True
+- netA:
+    mechanism: vm-ept
+- netB:
+    mechanism: vm-ept
+libraries:
+- libredis: app
+- lwip: netA
+- vfscore: netB
+)");
+    int *secretA = nullptr;
+    bool mpkFaulted = false, crossVmFaulted = false, done = false;
+    img->spawnIn("libredis", "t", [&] {
+        img->gate("lwip", "recv", [&] {
+            secretA = static_cast<int *>(img->heapOf("lwip").alloc(16));
+            img->store(secretA, 7);
+        });
+        // An MPK-compartment thread sees EPT memory as unmapped.
+        try {
+            img->load(secretA);
+        } catch (const ProtectionFault &) {
+            mpkFaulted = true;
+        }
+        // So does a *different* VM: netB's servers can't read netA.
+        img->gate("vfscore", "open", [&] {
+            try {
+                img->load(secretA);
+            } catch (const ProtectionFault &) {
+                crossVmFaulted = true;
+            }
+        });
+        done = true;
+    });
+    sched.runUntil([&] { return done; });
+    ASSERT_TRUE(done);
+    EXPECT_TRUE(mpkFaulted);
+    EXPECT_TRUE(crossVmFaulted);
+    img->shutdown();
+}
+
+} // namespace
+} // namespace flexos

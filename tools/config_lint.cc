@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Config lint: extracts every embedded safety configuration from the
+ * given C++ sources (raw-string literals containing both a
+ * `compartments:` and a `libraries:` section) and runs it through
+ * SafetyConfig::parse + Toolchain::validate against the standard
+ * library registry — the CI smoke step that keeps every config in
+ * examples/ and tests/ loadable as the config surface evolves.
+ *
+ * Blocks that are intentionally malformed (rejection tests) opt out
+ * with a `lint-skip` marker inside or immediately before the literal.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/toolchain.hh"
+
+using namespace flexos;
+
+namespace {
+
+struct Block
+{
+    std::string text;
+    std::size_t line = 0;
+};
+
+/** All R"( ... )" raw-string literals in a source file. */
+std::vector<Block>
+rawStrings(const std::string &src)
+{
+    std::vector<Block> out;
+    std::size_t pos = 0;
+    while ((pos = src.find("R\"(", pos)) != std::string::npos) {
+        std::size_t start = pos + 3;
+        std::size_t end = src.find(")\"", start);
+        if (end == std::string::npos)
+            break;
+        Block b;
+        b.text = src.substr(start, end - start);
+        b.line = 1 + std::count(src.begin(),
+                                src.begin() + static_cast<long>(pos),
+                                '\n');
+        // A lint-skip marker just before the literal opts it out too.
+        std::size_t ctx = pos > 160 ? pos - 160 : 0;
+        if (src.substr(ctx, pos - ctx).find("lint-skip") !=
+            std::string::npos)
+            b.text += "\n# lint-skip\n";
+        out.push_back(std::move(b));
+        pos = end + 2;
+    }
+    return out;
+}
+
+bool
+looksLikeConfig(const std::string &s)
+{
+    return s.find("compartments:") != std::string::npos &&
+           s.find("libraries:") != std::string::npos;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    LibraryRegistry reg = LibraryRegistry::standard();
+    Toolchain tc(reg);
+
+    int checked = 0, failed = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::ifstream in(argv[i]);
+        if (!in) {
+            std::fprintf(stderr, "config-lint: cannot read %s\n",
+                         argv[i]);
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        for (const Block &b : rawStrings(ss.str())) {
+            if (!looksLikeConfig(b.text) ||
+                b.text.find("lint-skip") != std::string::npos)
+                continue;
+            ++checked;
+            try {
+                SafetyConfig cfg = SafetyConfig::parse(b.text);
+                tc.validate(cfg);
+            } catch (const std::exception &e) {
+                ++failed;
+                std::fprintf(stderr, "config-lint: %s:%zu: %s\n",
+                             argv[i], b.line, e.what());
+            }
+        }
+    }
+    std::printf("config-lint: %d config(s) checked, %d failed\n",
+                checked, failed);
+    return failed ? 1 : 0;
+}
