@@ -80,8 +80,11 @@ main()
          {std::pair{"light (ERIM-style)", MpkGateFlavor::Light},
           std::pair{"full/DSS (HODOR-style)", MpkGateFlavor::Dss}}) {
         SafetyConfig cfg = SafetyConfig::parse(redisMpk2());
-        cfg.boundaries.push_back(
-            BoundaryRule{"*", "*", flavor, {}, {}});
+        BoundaryRule rule;
+        rule.from = "*";
+        rule.to = "*";
+        rule.flavor = flavor;
+        cfg.boundaries.push_back(rule);
         std::printf("    %-26s %9.1fk req/s\n", name,
                     throughput(cfg) / 1000);
     }

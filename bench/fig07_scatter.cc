@@ -166,5 +166,94 @@ libraries:
     std::printf("  net -> sys, scrub: false on return : %7.1f "
                 "vcycles/crossing (%.1f%% cheaper)\n",
                 asymmetric, 100.0 * (symmetric - asymmetric) / symmetric);
+
+    // --- Least-privilege dimension -----------------------------------
+    // deny: rules prune the reachable call graph per boundary. The
+    // wayfinder enumerates only subsets of edges the static call graph
+    // can spare — a point denying a required edge would be rejected at
+    // image build, so denied edges are never swept as reachable.
+    std::vector<ConfigPoint> lp = wayfinder::leastPrivilegeSpace();
+    std::vector<double> lpRedis;
+    double lpMax = 0;
+    for (const ConfigPoint &p : lp) {
+        lpRedis.push_back(wayfinder::measureRedis(p, 150));
+        lpMax = std::max(lpMax, lpRedis.back());
+    }
+    std::printf("\n=== Least-privilege dimension: Redis, %zu "
+                "deny-rule subsets over the Figure 8 partitions ===\n",
+                lp.size());
+    std::printf("%-6s %-14s %s\n", "comps", "redis (norm)",
+                "configuration");
+    for (std::size_t i = 0; i < lp.size(); ++i) {
+        std::printf("%-6d %-14.3f %s\n", lp[i].compartments(),
+                    lpRedis[i] / lpMax,
+                    wayfinder::pointLabel(lp[i], "app").c_str());
+    }
+
+    // --- Denied and throttled boundaries under load ------------------
+    // A rate-limited boundary back-pressures gate storms (stall) and
+    // a denied edge refuses dynamic crossings the static graph never
+    // promised. Both show up in the stats: gate.throttled with the
+    // stalled vcycles, gate.denied per refused crossing.
+    {
+        const char *cfg = R"(
+compartments:
+- app:
+    mechanism: intel-mpk
+    default: True
+- sys:
+    mechanism: intel-mpk
+libraries:
+- libredis: app
+- uksched: sys
+- uktime: sys
+boundaries:
+- app -> sys: {rate: 50, window: 1000000, overflow: stall}
+- sys -> app: {deny: true}
+)";
+        DeployOptions opts;
+        opts.withNet = false;
+        opts.withFs = false;
+        Deployment dep(cfg, opts);
+        Machine &m = dep.machine();
+        constexpr std::uint64_t crossings = 200;
+        Cycles spent = 0;
+        std::uint64_t denied = 0;
+        bool done = false;
+        dep.image().spawnIn("libredis", "storm", [&] {
+            Cycles before = m.cycles();
+            for (std::uint64_t i = 0; i < crossings; ++i)
+                dep.image().gate("uksched", "yield", [] {});
+            spent = m.cycles() - before;
+            // The reverse edge is denied outright.
+            dep.image().gate("uksched", "yield", [&] {
+                try {
+                    dep.image().gate("libredis", "redis_handle_conn",
+                                     [] {});
+                } catch (const DeniedCrossing &) {
+                    ++denied;
+                }
+            });
+            done = true;
+        });
+        dep.scheduler().runUntil([&] { return done; });
+        std::printf("\n=== Gate-storm containment: rate-limited and "
+                    "denied boundaries ===\n");
+        std::printf("  app -> sys rate 50/1M vcycles, %lu crossings: "
+                    "%7.1f vcycles/crossing\n",
+                    static_cast<unsigned long>(crossings),
+                    static_cast<double>(spent) /
+                        static_cast<double>(crossings));
+        std::printf("  gate.throttled       : %10lu\n",
+                    static_cast<unsigned long>(
+                        m.counter("gate.throttled")));
+        std::printf("  machine.stallCycles  : %10lu\n",
+                    static_cast<unsigned long>(
+                        m.counter("machine.stallCycles")));
+        std::printf("  gate.denied (sys -> app attempts): %lu "
+                    "(DeniedCrossing raised %lu)\n",
+                    static_cast<unsigned long>(m.counter("gate.denied")),
+                    static_cast<unsigned long>(denied));
+    }
     return 0;
 }

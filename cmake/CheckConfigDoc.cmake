@@ -1,0 +1,28 @@
+# Freshness check for the generated config reference: run config_doc
+# and fail when its output differs from the committed
+# docs/config-reference.md. Invoked by the `config_doc_fresh` CTest
+# (and the CI docs job) as:
+#   cmake -DDOC_TOOL=<config_doc> -DREFERENCE=<docs/config-reference.md>
+#         -P cmake/CheckConfigDoc.cmake
+
+execute_process(COMMAND ${DOC_TOOL}
+                OUTPUT_VARIABLE generated
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "config_doc failed with exit code ${rc}")
+endif()
+
+if(NOT EXISTS ${REFERENCE})
+  message(FATAL_ERROR
+          "${REFERENCE} does not exist; generate it with "
+          "`./build/config_doc > docs/config-reference.md`")
+endif()
+
+file(READ ${REFERENCE} committed)
+if(NOT generated STREQUAL committed)
+  message(FATAL_ERROR
+          "docs/config-reference.md is stale: the parser's key tables "
+          "changed. Regenerate with "
+          "`./build/config_doc > docs/config-reference.md` and commit "
+          "the result.")
+endif()

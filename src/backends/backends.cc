@@ -157,9 +157,14 @@ class MpkBackend : public IsolationBackend
         if (policy.flavor == MpkGateFlavor::Light) {
             // ERIM-style: wrpkru pair around a normal call; stack and
             // register set are shared with the callee (nothing to
-            // scrub on return).
+            // scrub on return). The callee's sim stack (used by any
+            // DssFrame it opens) still follows this boundary's
+            // stack-sharing policy.
             m.consume(m.timing.mpkLightGate);
             m.bump("gate.mpk.light");
+            Thread *t = img.scheduler().current();
+            if (t)
+                img.simStackFor(t->id(), to, policy.stackSharing);
         } else {
             // HODOR-style full gate: save+zero the register set, switch
             // thread permissions, switch to the compartment's stack via
@@ -175,10 +180,11 @@ class MpkBackend : public IsolationBackend
             m.consume(cost);
             m.bump("gate.mpk.dss");
             // Touch the per-thread compartment stack registry so the
-            // target stack exists (the functional stack switch).
+            // target stack exists (the functional stack switch), laid
+            // out under this boundary's stack-sharing policy.
             Thread *t = img.scheduler().current();
             if (t)
-                img.simStackFor(t->id(), to);
+                img.simStackFor(t->id(), to, policy.stackSharing);
         }
         img.noteCrossing(from, to);
         DomainTransition dt(img, to, workMult);
@@ -307,6 +313,7 @@ class EptBackend : public IsolationBackend
         rpc.calleeLib = &calleeLib;
         rpc.fnName = fnName;
         rpc.workMult = workMult;
+        rpc.stackSharing = policy.stackSharing;
         WaitQueue doneWait(sched);
         rpc.doneWait = &doneWait;
 
@@ -348,6 +355,9 @@ class EptBackend : public IsolationBackend
         const std::string *calleeLib = nullptr;
         const char *fnName = nullptr;
         double workMult = 1.0;
+        /** The crossing boundary's stack-sharing policy: governs the
+         *  layout of the server thread's stack in the VM. */
+        StackSharing stackSharing = StackSharing::Dss;
         bool done = false;
         std::exception_ptr error;
         WaitQueue *doneWait = nullptr;
@@ -415,6 +425,14 @@ class EptBackend : public IsolationBackend
                     *rpc->calleeLib + "." + rpc->fnName));
             } else {
                 m.consume(m.timing.pollDispatch);
+                // The server thread's stack in the VM follows the
+                // crossing boundary's stack-sharing policy (frames
+                // the RPC body opens resolve to it).
+                Thread *self = img.scheduler().current();
+                if (self)
+                    img.simStackFor(self->id(),
+                                    static_cast<int>(vmId),
+                                    rpc->stackSharing);
                 ++vm.busy;
                 try {
                     WorkMultGuard guard(m, rpc->workMult);
@@ -463,6 +481,11 @@ class CheriBackend : public IsolationBackend
             cost -= std::min(cost, m.timing.registerSaveZero);
         m.consume(cost);
         m.bump("gate.cheri");
+        // The callee's sim stack follows this boundary's
+        // stack-sharing policy, as on the MPK gates.
+        Thread *t = img.scheduler().current();
+        if (t)
+            img.simStackFor(t->id(), to, policy.stackSharing);
         img.noteCrossing(from, to);
         DomainTransition dt(img, to, workMult);
         body();

@@ -1,5 +1,6 @@
 #include "core/config.hh"
 
+#include <array>
 #include <sstream>
 
 #include "base/logging.hh"
@@ -57,6 +58,40 @@ mechanismConsumesProtKey(Mechanism m)
     // tables instead of a protection key; every other mechanism's
     // memory is key-tagged in the region model.
     return m != Mechanism::VmEpt;
+}
+
+StackSharing
+stackSharingFromName(const std::string &name)
+{
+    std::string n = toLower(trim(name));
+    if (n == "heap")
+        return StackSharing::Heap;
+    if (n == "dss")
+        return StackSharing::Dss;
+    if (n == "shared-stack" || n == "share")
+        return StackSharing::SharedStack;
+    fatal("unknown stack_sharing '", name,
+          "' (expected heap, dss or shared-stack)");
+}
+
+const char *
+stackSharingName(StackSharing s)
+{
+    switch (s) {
+      case StackSharing::Heap:
+        return "heap";
+      case StackSharing::Dss:
+        return "dss";
+      case StackSharing::SharedStack:
+        return "shared-stack";
+    }
+    return "?";
+}
+
+const char *
+rateOverflowName(RateOverflow o)
+{
+    return o == RateOverflow::Stall ? "stall" : "fail";
 }
 
 Hardening
@@ -143,9 +178,153 @@ stripQuotes(const std::string &s)
     return v;
 }
 
+/** Parse a positive integer config value (rate, window, servers). */
+std::uint64_t
+parseCount(const std::string &value, int lineNo, const char *key,
+           std::size_t maxDigits)
+{
+    std::string v = trim(value);
+    bool numeric = !v.empty() && v.size() <= maxDigits;
+    for (char ch : v)
+        numeric = numeric && ch >= '0' && ch <= '9';
+    fatal_if(!numeric, "config line ", lineNo, ": ", key,
+             " must be a positive integer, got '", value, "'");
+    std::uint64_t n = std::stoull(v);
+    fatal_if(n < 1, "config line ", lineNo, ": ", key, " must be >= 1");
+    return n;
+}
+
+/**
+ * The keys of one `boundaries:` rule — the table the parser dispatches
+ * on AND the source of the generated config reference (key name, value
+ * syntax and documentation live here, once).
+ */
+struct BoundaryKey
+{
+    const char *key;
+    const char *values;
+    const char *doc;
+    void (*apply)(BoundaryRule &rule, const std::string &value,
+                  int lineNo);
+};
+
+const BoundaryKey boundaryKeyTable[] = {
+    {"gate", "light | dss",
+     "MPK gate flavour of the edge: ERIM-style wrpkru pair (light) or "
+     "the full register-scrubbing, stack-switching gate (dss). "
+     "Default: dss.",
+     [](BoundaryRule &r, const std::string &v, int lineNo) {
+         r.flavor = flavorFromName(v, lineNo);
+     }},
+    {"validate", "true | false",
+     "Force caller-side entry-point validation on every crossing of "
+     "the edge, whatever the mechanism's own rule. Default: false.",
+     [](BoundaryRule &r, const std::string &v, int) {
+         r.validate = parseBool(v);
+     }},
+    {"scrub", "true | false",
+     "Scrub the register set on the return path (DSS/EPT/CHERI "
+     "gates); `false` waives the return-side save/zero on edges whose "
+     "returns re-enter trusted state. Default: true.",
+     [](BoundaryRule &r, const std::string &v, int) {
+         r.scrub = parseBool(v);
+     }},
+    {"deny", "true | false",
+     "Statically forbid the edge (least-privilege call graph): edges "
+     "the static call graph needs are rejected at image build, "
+     "dynamic crossings raise DeniedCrossing and bump `gate.denied`. "
+     "`deny: false` re-allows an edge denied by a less specific rule. "
+     "`deny: true` admits no other key in the same rule. "
+     "Default: false.",
+     [](BoundaryRule &r, const std::string &v, int) {
+         r.deny = parseBool(v);
+     }},
+    {"rate", "<crossings>",
+     "Token-bucket crossing budget of the edge: at most this many "
+     "crossings per `window` virtual cycles (gate-storm containment). "
+     "Overflow bumps `gate.throttled` and acts per `overflow`. "
+     "Default: unlimited.",
+     [](BoundaryRule &r, const std::string &v, int lineNo) {
+         r.rate = parseCount(v, lineNo, "rate", 12);
+     }},
+    {"window", "<vcycles>",
+     "Refill window of the `rate` token bucket, in virtual cycles. "
+     "Default: 1000000.",
+     [](BoundaryRule &r, const std::string &v, int lineNo) {
+         r.window = parseCount(v, lineNo, "window", 12);
+     }},
+    {"overflow", "stall | fail",
+     "What a crossing beyond the `rate` budget does: stall the caller "
+     "until a token refills (back-pressure) or fail with "
+     "ThrottledCrossing. Default: stall.",
+     [](BoundaryRule &r, const std::string &v, int lineNo) {
+         std::string o = toLower(trim(v));
+         if (o == "stall")
+             r.overflow = RateOverflow::Stall;
+         else if (o == "fail")
+             r.overflow = RateOverflow::Fail;
+         else
+             fatal("config line ", lineNo, ": unknown overflow '", v,
+                   "' (expected stall or fail)");
+     }},
+    {"stack_sharing", "heap | dss | shared-stack",
+     "Shared-stack-variable strategy for frames opened behind this "
+     "boundary; overrides the image-wide `stack_sharing:` default "
+     "(which desugars to a `'*' -> '*'` rule). Default: dss.",
+     [](BoundaryRule &r, const std::string &v, int) {
+         r.stackSharing = stackSharingFromName(v);
+     }},
+};
+
+/**
+ * The keys of one `compartments:` item — same table-driven scheme as
+ * boundaryKeyTable (parser dispatch + generated reference).
+ */
+struct CompartmentKey
+{
+    const char *key;
+    const char *values;
+    const char *doc;
+    void (*apply)(CompartmentSpec &spec, const std::string &value,
+                  int lineNo);
+};
+
+const CompartmentKey compartmentKeyTable[] = {
+    {"mechanism",
+     "none | intel-mpk | vm-ept | cheri | linux-pt | sel4-ipc | "
+     "cubicle-mpk",
+     "Isolation mechanism enforcing this compartment's boundary. "
+     "Default: intel-mpk.",
+     [](CompartmentSpec &c, const std::string &v, int) {
+         c.mechanism = mechanismFromName(v);
+     }},
+    {"default", "true | false",
+     "Marks the trusted compartment threads start in; exactly one "
+     "compartment must set it.",
+     [](CompartmentSpec &c, const std::string &v, int) {
+         c.isDefault = parseBool(v);
+     }},
+    {"hardening", "[stack-protector, ubsan, kasan, asan, cfi]",
+     "Software hardening instrumented into every component placed in "
+     "the compartment. Default: none.",
+     [](CompartmentSpec &c, const std::string &v, int) {
+         for (const std::string &h : parseList(v))
+             c.hardening.push_back(hardeningFromName(h));
+     }},
+    {"servers", "<threads>",
+     "RPC server threads the compartment's VM boots with (vm-ept "
+     "only; the pool grows elastically under load up to a cap). "
+     "Default: 2.",
+     [](CompartmentSpec &c, const std::string &v, int lineNo) {
+         c.servers = static_cast<int>(
+             parseCount(v, lineNo, "servers", 4));
+         c.serversExplicit = true;
+     }},
+};
+
 /**
  * Parse a boundary rule: key "from -> to", value "{k: v, ...}".
- * Recognized keys: gate (light|dss), validate (bool), scrub (bool).
+ * Recognized keys: see boundaryKeyTable.
  */
 BoundaryRule
 parseBoundaryRule(const std::string &key, const std::string &value,
@@ -173,16 +352,37 @@ parseBoundaryRule(const std::string &key, const std::string &value,
                  "' is not 'key: value'");
         std::string k = toLower(trim(entry.substr(0, colon)));
         std::string val = trim(entry.substr(colon + 1));
-        if (k == "gate")
-            rule.flavor = flavorFromName(val, lineNo);
-        else if (k == "validate")
-            rule.validate = parseBool(val);
-        else if (k == "scrub")
-            rule.scrub = parseBool(val);
-        else
+        bool known = false;
+        for (const BoundaryKey &bk : boundaryKeyTable) {
+            if (k == bk.key) {
+                bk.apply(rule, val, lineNo);
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            std::string expected;
+            for (const BoundaryKey &bk : boundaryKeyTable) {
+                if (!expected.empty())
+                    expected += ", ";
+                expected += bk.key;
+            }
             fatal("config line ", lineNo, ": unknown boundary key '", k,
-                  "' (expected gate, validate or scrub)");
+                  "' (expected one of: ", expected, ")");
+        }
     }
+
+    // `deny: true` forbids the edge outright; combining it with knobs
+    // that tune how crossings behave is contradictory, so reject it
+    // here rather than silently ignoring the other keys.
+    bool denied = rule.deny && *rule.deny;
+    fatal_if(denied && (rule.flavor || rule.validate || rule.scrub ||
+                        rule.rate || rule.window || rule.overflow ||
+                        rule.stackSharing),
+             "config line ", lineNo, ": boundary rule '",
+             rule.edgeName(),
+             "' sets deny: true alongside other keys — a denied edge "
+             "has no gate to tune");
     return rule;
 }
 
@@ -191,6 +391,8 @@ parseBoundaryRule(const std::string &key, const std::string &value,
 std::string
 GatePolicy::name() const
 {
+    if (deny)
+        return "denied";
     std::string s = mechanismName(mech);
     if (mech == Mechanism::IntelMpk)
         s += flavor == MpkGateFlavor::Light ? "(light)" : "(dss)";
@@ -198,8 +400,48 @@ GatePolicy::name() const
         s += "+validate";
     if (!scrubReturn)
         s += "-scrub";
+    if (rate) {
+        s += "+rate(" + std::to_string(rate);
+        if (rateWindow != defaultRateWindow)
+            s += "/" + std::to_string(rateWindow);
+        if (overflow == RateOverflow::Fail)
+            s += ",fail";
+        s += ")";
+    }
+    if (stackSharing != StackSharing::Dss)
+        s += std::string("+stack=") + stackSharingName(stackSharing);
     return s;
 }
+
+namespace {
+
+/** The per-cell fields a boundary rule can set (conflict tracking). */
+enum PolicyField
+{
+    FieldFlavor,
+    FieldValidate,
+    FieldScrub,
+    FieldDeny,
+    FieldRate,
+    FieldWindow,
+    FieldOverflow,
+    FieldStackSharing,
+    FieldCount,
+};
+
+const char *const policyFieldName[FieldCount] = {
+    "gate", "validate", "scrub",    "deny",
+    "rate", "window",   "overflow", "stack_sharing",
+};
+
+/** Which rule last set a field of a cell, and at what layer. */
+struct FieldSetter
+{
+    int layer = -1;
+    int rule = -1;
+};
+
+} // namespace
 
 GateMatrix
 GateMatrix::build(const SafetyConfig &cfg)
@@ -209,19 +451,27 @@ GateMatrix::build(const SafetyConfig &cfg)
     m.cells.resize(m.n * m.n);
 
     // Default fallback: the callee compartment's mechanism with the
-    // full-strength policy (today's callee-side dispatch rule).
+    // full-strength policy (today's callee-side dispatch rule) and the
+    // image-wide shared-stack strategy.
     for (std::size_t f = 0; f < m.n; ++f) {
         for (std::size_t t = 0; t < m.n; ++t) {
             GatePolicy &p = m.cells[f * m.n + t];
             p.mech = cfg.compartments[t].mechanism;
+            p.stackSharing = cfg.stackSharing;
         }
     }
 
-    // Layer the rules by specificity; within a layer, file order wins.
-    // Callee-side wildcards ('*' -> to) are more specific than
-    // caller-side ones (from -> '*'), mirroring callee-side dispatch.
-    auto applyLayer = [&](auto matches) {
-        for (const BoundaryRule &r : cfg.boundaries) {
+    // Layer the rules by specificity. Callee-side wildcards ('*' -> to)
+    // are more specific than caller-side ones (from -> '*'), mirroring
+    // callee-side dispatch. Two rules of EQUAL specificity that
+    // disagree on a field for the same cell are a user error — there
+    // is no silent precedence, and in particular none among deny, rate
+    // and the scalar knobs.
+    std::vector<std::array<FieldSetter, FieldCount>> setters(m.n * m.n);
+
+    auto applyLayer = [&](int layer, auto matches) {
+        for (std::size_t ri = 0; ri < cfg.boundaries.size(); ++ri) {
+            const BoundaryRule &r = cfg.boundaries[ri];
             if (!matches(r))
                 continue;
             int fi = r.from == "*" ? -1 : cfg.compartmentIndex(r.from);
@@ -237,26 +487,68 @@ GateMatrix::build(const SafetyConfig &cfg)
                     if (ti >= 0 && t != static_cast<std::size_t>(ti))
                         continue;
                     GatePolicy &p = m.cells[f * m.n + t];
-                    if (r.flavor)
-                        p.flavor = *r.flavor;
-                    if (r.validate)
-                        p.validateEntry = *r.validate;
-                    if (r.scrub)
-                        p.scrubReturn = *r.scrub;
+                    auto &st = setters[f * m.n + t];
+
+                    auto conflict = [&](PolicyField field,
+                                        const char *detail) {
+                        const BoundaryRule &prev = cfg.boundaries
+                            [static_cast<std::size_t>(st[field].rule)];
+                        fatal("boundary rules '", prev.edgeName(),
+                              "' and '", r.edgeName(), "' conflict on ",
+                              detail, " for boundary ",
+                              cfg.compartments[f].name, " -> ",
+                              cfg.compartments[t].name,
+                              " at equal specificity — make one rule "
+                              "more specific or reconcile them");
+                    };
+                    // A field set twice at the same layer by different
+                    // rules must agree; otherwise it is ambiguous.
+                    auto apply = [&](PolicyField field, auto &cellField,
+                                     const auto &optVal) {
+                        if (!optVal)
+                            return;
+                        if (st[field].layer == layer &&
+                            st[field].rule != static_cast<int>(ri) &&
+                            cellField != *optVal)
+                            conflict(field, policyFieldName[field]);
+                        cellField = *optVal;
+                        st[field] = {layer, static_cast<int>(ri)};
+                    };
+                    // deny and rate have no precedence order between
+                    // them: mixing them at one specificity is an error
+                    // (a more specific rule may still override either).
+                    if (r.deny && *r.deny &&
+                        st[FieldRate].layer == layer &&
+                        st[FieldRate].rule != static_cast<int>(ri))
+                        conflict(FieldRate, "deny vs. rate");
+                    if (r.rate && st[FieldDeny].layer == layer &&
+                        st[FieldDeny].rule != static_cast<int>(ri) &&
+                        p.deny)
+                        conflict(FieldDeny, "deny vs. rate");
+
+                    apply(FieldFlavor, p.flavor, r.flavor);
+                    apply(FieldValidate, p.validateEntry, r.validate);
+                    apply(FieldScrub, p.scrubReturn, r.scrub);
+                    apply(FieldDeny, p.deny, r.deny);
+                    apply(FieldRate, p.rate, r.rate);
+                    apply(FieldWindow, p.rateWindow, r.window);
+                    apply(FieldOverflow, p.overflow, r.overflow);
+                    apply(FieldStackSharing, p.stackSharing,
+                          r.stackSharing);
                 }
             }
         }
     };
-    applyLayer([](const BoundaryRule &r) {
+    applyLayer(0, [](const BoundaryRule &r) {
         return r.from == "*" && r.to == "*";
     });
-    applyLayer([](const BoundaryRule &r) {
+    applyLayer(1, [](const BoundaryRule &r) {
         return r.from != "*" && r.to == "*";
     });
-    applyLayer([](const BoundaryRule &r) {
+    applyLayer(2, [](const BoundaryRule &r) {
         return r.from == "*" && r.to != "*";
     });
-    applyLayer([](const BoundaryRule &r) {
+    applyLayer(3, [](const BoundaryRule &r) {
         return r.from != "*" && r.to != "*";
     });
     return m;
@@ -341,30 +633,16 @@ SafetyConfig::parse(const std::string &text)
                 current = &cfg.compartments.back();
                 current->name = key;
             } else if (current) {
-                if (key == "mechanism") {
-                    current->mechanism = mechanismFromName(value);
-                } else if (key == "default") {
-                    current->isDefault = parseBool(value);
-                } else if (key == "hardening") {
-                    for (const std::string &h : parseList(value))
-                        current->hardening.push_back(
-                            hardeningFromName(h));
-                } else if (key == "servers") {
-                    std::string v = trim(value);
-                    bool numeric = !v.empty() && v.size() <= 4;
-                    for (char ch : v)
-                        numeric = numeric && ch >= '0' && ch <= '9';
-                    fatal_if(!numeric, "config line ", lineNo,
-                             ": servers must be a small positive "
-                             "integer, got '", value, "'");
-                    current->servers = std::stoi(v);
-                    current->serversExplicit = true;
-                    fatal_if(current->servers < 1, "config line ",
-                             lineNo, ": servers must be >= 1");
-                } else {
-                    fatal("config line ", lineNo,
-                          ": unknown compartment key '", key, "'");
+                bool known = false;
+                for (const CompartmentKey &ck : compartmentKeyTable) {
+                    if (key == ck.key) {
+                        ck.apply(*current, value, lineNo);
+                        known = true;
+                        break;
+                    }
                 }
+                fatal_if(!known, "config line ", lineNo,
+                         ": unknown compartment key '", key, "'");
             } else {
                 fatal("config line ", lineNo, ": stray key '", key, "'");
             }
@@ -389,15 +667,17 @@ SafetyConfig::parse(const std::string &text)
                 }
                 cfg.libraries.emplace_back(key, compName);
             } else if (key == "stack_sharing") {
-                std::string v = toLower(value);
-                if (v == "heap")
-                    cfg.stackSharing = StackSharing::Heap;
-                else if (v == "dss")
-                    cfg.stackSharing = StackSharing::Dss;
-                else if (v == "shared-stack" || v == "share")
-                    cfg.stackSharing = StackSharing::SharedStack;
-                else
-                    fatal("unknown stack_sharing '", value, "'");
+                // Image-wide default; desugars to a ('*','*') rule so
+                // it round-trips through toText() and participates in
+                // the matrix's specificity layering (a more specific
+                // rule overrides it, a conflicting equal-specificity
+                // rule is rejected) like any other boundary policy.
+                cfg.stackSharing = stackSharingFromName(value);
+                BoundaryRule rule;
+                rule.from = "*";
+                rule.to = "*";
+                rule.stackSharing = cfg.stackSharing;
+                cfg.boundaries.push_back(std::move(rule));
             } else {
                 fatal("config line ", lineNo, ": stray key '", key, "'");
             }
@@ -445,11 +725,25 @@ SafetyConfig::toText() const
         }
         oss << "\n";
     }
+    // A non-default image-wide strategy set programmatically (no
+    // desugared rule carries it) must survive the round trip too —
+    // omitting it used to silently reset reparsed configs to DSS.
+    bool sharingInRules = false;
+    for (const BoundaryRule &r : boundaries)
+        if (r.from == "*" && r.to == "*" && r.stackSharing)
+            sharingInRules = true;
+    if (stackSharing != StackSharing::Dss && !sharingInRules)
+        oss << "stack_sharing: " << stackSharingName(stackSharing)
+            << "\n";
     if (!boundaries.empty()) {
         auto quoted = [](const std::string &s) {
             return s == "*" ? std::string("'*'") : s;
         };
         oss << "boundaries:\n";
+        // Serialize every explicit rule, including ones whose policy
+        // equals the resolved default: dropping "redundant" rules
+        // would lose author intent (and the redundancy can become
+        // load-bearing when surrounding rules change).
         for (const BoundaryRule &r : boundaries) {
             oss << "- " << quoted(r.from) << " -> " << quoted(r.to)
                 << ": {";
@@ -472,6 +766,27 @@ SafetyConfig::toText() const
             if (r.scrub) {
                 sep();
                 oss << "scrub: " << (*r.scrub ? "true" : "false");
+            }
+            if (r.deny) {
+                sep();
+                oss << "deny: " << (*r.deny ? "true" : "false");
+            }
+            if (r.rate) {
+                sep();
+                oss << "rate: " << *r.rate;
+            }
+            if (r.window) {
+                sep();
+                oss << "window: " << *r.window;
+            }
+            if (r.overflow) {
+                sep();
+                oss << "overflow: " << rateOverflowName(*r.overflow);
+            }
+            if (r.stackSharing) {
+                sep();
+                oss << "stack_sharing: "
+                    << stackSharingName(*r.stackSharing);
             }
             oss << "}\n";
         }
@@ -519,6 +834,158 @@ SafetyConfig::defaultCompartment() const
         if (compartments[i].isDefault)
             return i;
     fatal("no default compartment declared");
+}
+
+const std::vector<ConfigKeyInfo> &
+configKeyReference()
+{
+    static const std::vector<ConfigKeyInfo> ref = [] {
+        std::vector<ConfigKeyInfo> out;
+        out.push_back({"compartments", "- <name>:", "",
+                       "Declares one compartment; the keys below nest "
+                       "under it."});
+        for (const CompartmentKey &ck : compartmentKeyTable)
+            out.push_back(
+                {"compartments", ck.key, ck.values, ck.doc});
+        out.push_back({"libraries",
+                       "- <library>: <compartment> [hardening...]",
+                       "",
+                       "Places a micro-library in a compartment; the "
+                       "optional bracket list adds per-component "
+                       "hardening on top of the compartment's."});
+        out.push_back({"libraries", "stack_sharing",
+                       "heap | dss | shared-stack",
+                       "Image-wide default shared-stack strategy; "
+                       "desugars to a `'*' -> '*'` boundary rule. "
+                       "Default: dss."});
+        out.push_back({"boundaries", "- <from> -> <to>: {key: value, "
+                                     "...}",
+                       "",
+                       "Overrides the gate policy of one (from, to) "
+                       "boundary; `'*'` wildcards layer by "
+                       "specificity (exact > callee-side > "
+                       "caller-side > global). Equal-specificity "
+                       "conflicts are rejected."});
+        for (const BoundaryKey &bk : boundaryKeyTable)
+            out.push_back({"boundaries", bk.key, bk.values, bk.doc});
+        out.push_back({"(top level)", "mpk_gate", "light | dss",
+                       "Legacy global MPK flavour knob; desugars to a "
+                       "`'*' -> '*': {gate: ...}` rule. Prefer "
+                       "`boundaries:`."});
+        return out;
+    }();
+    return ref;
+}
+
+std::string
+configReferenceMarkdown()
+{
+    std::ostringstream oss;
+    oss << "# Safety-configuration reference\n\n";
+    oss << "<!-- GENERATED FILE — do not edit. Produced by "
+           "`tools/config_doc` from the\n     key tables the parser in "
+           "src/core/config.cc dispatches on; regenerate with\n     "
+           "`./build/config_doc > docs/config-reference.md`. CI fails "
+           "if this file is\n     stale. -->\n\n";
+    oss << "The safety configuration is the YAML subset of the paper "
+           "(section 3.0):\na `compartments:` section, a `libraries:` "
+           "section, and an optional\n`boundaries:` section, parsed by "
+           "`SafetyConfig::parse` and serialized back\nby "
+           "`SafetyConfig::toText`.\n";
+
+    // '|' inside a table cell must be escaped or it splits the cell.
+    auto cell = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '|')
+                out += "\\|";
+            else
+                out += c;
+        }
+        return out;
+    };
+
+    const char *section = "";
+    for (const ConfigKeyInfo &k : configKeyReference()) {
+        if (section != std::string(k.section)) {
+            section = k.section;
+            oss << "\n## `" << section << "`\n\n";
+            oss << "| Key | Values | Description |\n";
+            oss << "|-----|--------|-------------|\n";
+        }
+        oss << "| `" << cell(k.key) << "` | "
+            << (k.values[0] ? "`" + cell(k.values) + "`" : "") << " | "
+            << cell(k.doc) << " |\n";
+    }
+
+    oss << "\n## Enum values\n\n";
+    oss << "### Mechanisms\n\n";
+    oss << "| Name | Meaning |\n|------|---------|\n";
+    struct
+    {
+        Mechanism m;
+        const char *doc;
+    } mechs[] = {
+        {Mechanism::None, "single protection domain (vanilla Unikraft)"},
+        {Mechanism::IntelMpk,
+         "Intel protection keys, intra-address-space (paper 4.1)"},
+        {Mechanism::VmEpt,
+         "one VM per compartment with RPC gates (paper 4.2)"},
+        {Mechanism::Cheri, "capability backend sketch (paper 4.3)"},
+        {Mechanism::LinuxPt,
+         "baseline: page-table isolation via Linux syscalls"},
+        {Mechanism::Sel4Ipc, "baseline: seL4/Genode microkernel IPC"},
+        {Mechanism::CubicleMpk,
+         "baseline: CubicleOS MPK via pkey_mprotect"},
+    };
+    for (const auto &e : mechs)
+        oss << "| `" << mechanismName(e.m) << "` | " << e.doc << " |\n";
+
+    oss << "\n### Hardening\n\n";
+    oss << "| Name | Meaning |\n|------|---------|\n";
+    struct
+    {
+        Hardening h;
+        const char *doc;
+    } hards[] = {
+        {Hardening::StackProtector, "stack canaries (+8% work)"},
+        {Hardening::Ubsan, "undefined-behaviour sanitizer (+32%)"},
+        {Hardening::Kasan, "kernel address sanitizer (+110%)"},
+        {Hardening::Asan, "userland address sanitizer (+95%)"},
+        {Hardening::Cfi, "forward-edge CFI, gates check entry points "
+                         "(+15%)"},
+    };
+    for (const auto &e : hards)
+        oss << "| `" << hardeningName(e.h) << "` | " << e.doc << " |\n";
+
+    oss << "\n### Stack sharing\n\n";
+    oss << "| Name | Meaning |\n|------|---------|\n";
+    struct
+    {
+        StackSharing s;
+        const char *doc;
+    } shares[] = {
+        {StackSharing::Heap,
+         "convert shared stack variables to shared-heap allocations "
+         "(costly; Figure 11a)"},
+        {StackSharing::Dss,
+         "data shadow stacks: doubled stacks, shadow = &x + "
+         "STACK_SIZE (Figure 4)"},
+        {StackSharing::SharedStack,
+         "share the whole stack (cheapest, weakest)"},
+    };
+    for (const auto &e : shares)
+        oss << "| `" << stackSharingName(e.s) << "` | " << e.doc
+            << " |\n";
+
+    oss << "\n### Rate overflow\n\n";
+    oss << "| Name | Meaning |\n|------|---------|\n";
+    oss << "| `" << rateOverflowName(RateOverflow::Stall)
+        << "` | stall the caller until the token bucket refills "
+           "(back-pressure) |\n";
+    oss << "| `" << rateOverflowName(RateOverflow::Fail)
+        << "` | fail the crossing with a ThrottledCrossing error |\n";
+    return oss.str();
 }
 
 } // namespace flexos

@@ -19,10 +19,13 @@
  *     - lwip: comp2
  *     boundaries:
  *     - comp1 -> comp2: {gate: light}
- *     - '*' -> comp2: {validate: true}
+ *     - '*' -> comp2: {validate: true, rate: 1000, overflow: stall}
+ *     - comp2 -> comp1: {deny: true}
  *
  * The optional `boundaries:` section overrides the gate policy of
  * individual (from, to) compartment pairs; see BoundaryRule/GateMatrix.
+ * The full key-by-key reference, docs/config-reference.md, is generated
+ * from the same tables the parser dispatches on (tools/config_doc).
  */
 
 #ifndef FLEXOS_CORE_CONFIG_HH
@@ -72,11 +75,26 @@ enum class Hardening
     Asan, // userland flavour of kasan; same instrumentation point
 };
 
+/**
+ * What a rate-limited boundary does with a crossing that exceeds its
+ * token budget (`overflow:` key): stall the caller until a token
+ * refills (gate-storm containment: the boundary back-pressures), or
+ * fail the crossing with a ThrottledCrossing error.
+ */
+enum class RateOverflow
+{
+    Stall,
+    Fail,
+};
+
 /** Parse helpers for the enums (fatal on unknown names). */
 Mechanism mechanismFromName(const std::string &name);
 const char *mechanismName(Mechanism m);
 Hardening hardeningFromName(const std::string &name);
 const char *hardeningName(Hardening h);
+StackSharing stackSharingFromName(const std::string &name);
+const char *stackSharingName(StackSharing s);
+const char *rateOverflowName(RateOverflow o);
 
 /**
  * Whether a mechanism's compartments occupy an MPK protection key in
@@ -89,6 +107,13 @@ bool mechanismConsumesProtKey(Mechanism m);
 
 /** RPC servers an EPT compartment's VM boots with by default. */
 inline constexpr int defaultEptServers = 2;
+
+/**
+ * Default token-bucket refill window of a rate-limited boundary, in
+ * virtual cycles (`window:` key): `rate: N` alone budgets N crossings
+ * per this many vcycles.
+ */
+inline constexpr std::uint64_t defaultRateWindow = 1'000'000;
 
 /** One compartment in the configuration. */
 struct CompartmentSpec
@@ -136,6 +161,32 @@ struct GatePolicy
     /** Scrub the register set on the return path (DSS/EPT gates). */
     bool scrubReturn = true;
 
+    /**
+     * Statically forbid this edge: crossings of the call graph the
+     * configuration declares unreachable (least-privilege). Edges the
+     * static call graph needs are rejected at image build; dynamic
+     * crossings raise DeniedCrossing and bump `gate.denied`.
+     */
+    bool deny = false;
+
+    /**
+     * Crossing budget: at most `rate` crossings per `rateWindow`
+     * virtual cycles (token bucket), 0 = unlimited. Overflowing
+     * crossings bump `gate.throttled` and either stall until a token
+     * refills or fail with ThrottledCrossing, per `overflow`.
+     */
+    std::uint64_t rate = 0;
+    std::uint64_t rateWindow = defaultRateWindow;
+    RateOverflow overflow = RateOverflow::Stall;
+
+    /**
+     * How shared stack variables are materialized for frames opened
+     * behind this boundary — per-boundary since the data-sharing
+     * strategy is a (from, to) knob like the gate itself. The global
+     * `stack_sharing:` key desugars to a ('*','*') rule.
+     */
+    StackSharing stackSharing = StackSharing::Dss;
+
     /** Policy name, e.g. "intel-mpk(light)" or "vm-ept+validate". */
     std::string name() const;
 
@@ -154,6 +205,15 @@ struct BoundaryRule
     std::optional<MpkGateFlavor> flavor; ///< `gate: light|dss`
     std::optional<bool> validate;        ///< `validate: true|false`
     std::optional<bool> scrub;           ///< `scrub: true|false`
+    std::optional<bool> deny;            ///< `deny: true|false`
+    std::optional<std::uint64_t> rate;   ///< `rate: N` (crossings)
+    std::optional<std::uint64_t> window; ///< `window: N` (vcycles)
+    std::optional<RateOverflow> overflow; ///< `overflow: stall|fail`
+    /** `stack_sharing: heap|dss|shared-stack` */
+    std::optional<StackSharing> stackSharing;
+
+    /** "from -> to", for error messages. */
+    std::string edgeName() const { return from + " -> " + to; }
 
     bool operator==(const BoundaryRule &o) const = default;
 };
@@ -165,8 +225,11 @@ struct SafetyConfig;
  * one GatePolicy per ordered compartment pair. Rules are layered by
  * specificity — ('*','*') then (from,'*') then ('*',to) then exact —
  * so callee-side wildcards override caller-side ones, matching the
- * historical callee-decides dispatch rule; later rules of equal
- * specificity win.
+ * historical callee-decides dispatch rule. Two rules of *equal*
+ * specificity that disagree on a field for the same cell are a fatal
+ * user error (no silent precedence), as is mixing `deny: true` with a
+ * `rate:` budget at equal specificity — deny, rate and the scalar
+ * knobs have no precedence order among themselves.
  */
 class GateMatrix
 {
@@ -205,6 +268,13 @@ struct SafetyConfig
      */
     std::vector<BoundaryRule> boundaries;
 
+    /**
+     * Image-wide default shared-stack strategy: the value the gate
+     * matrix seeds every cell's stackSharing with before boundary
+     * rules layer on top. The config key `stack_sharing:` both sets
+     * this field and desugars to a ('*','*') rule so it round-trips
+     * through toText(); programmatic users may simply assign it.
+     */
     StackSharing stackSharing = StackSharing::Dss;
 
     /** Per-compartment private heap size (bytes). */
@@ -234,6 +304,35 @@ struct SafetyConfig
      */
     std::vector<Mechanism> mechanisms() const;
 };
+
+/**
+ * @name Self-describing config surface.
+ *
+ * The parser dispatches the per-section keys off static tables whose
+ * entries carry the key name, its value syntax and one line of
+ * documentation. configReferenceMarkdown() renders those same tables
+ * (plus the enum-name tables behind the *FromName helpers) as
+ * docs/config-reference.md, so the generated reference cannot drift
+ * from what the parser accepts — CI regenerates it and fails on diff.
+ * @{
+ */
+
+/** One documented config key, as the parser knows it. */
+struct ConfigKeyInfo
+{
+    const char *section; ///< e.g. "compartments", "boundaries"
+    const char *key;     ///< e.g. "mechanism", "rate"
+    const char *values;  ///< value syntax, e.g. "light | dss"
+    const char *doc;     ///< one-line description
+};
+
+/** Every key the parser accepts, section by section. */
+const std::vector<ConfigKeyInfo> &configKeyReference();
+
+/** The full generated config reference (docs/config-reference.md). */
+std::string configReferenceMarkdown();
+
+/** @} */
 
 } // namespace flexos
 

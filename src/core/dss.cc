@@ -7,14 +7,20 @@
 namespace flexos {
 
 DssFrame::DssFrame(Image &image)
-    : img(image), strategy(img.config().stackSharing)
+    : img(image), strategy(StackSharing::Dss)
 {
     protectorOn = img.currentHardening().stackProtector;
 
+    // Stack sharing is a per-boundary policy: follow the layout of
+    // the stack the entering crossing built (or the compartment's own
+    // resolved strategy when no crossing preceded the frame).
+    Thread *t = img.scheduler().current();
+    int tid = t ? t->id() : 0;
+    int comp = img.currentCompartment();
+    strategy = img.frameStrategyFor(tid, comp);
+
     if (strategy != StackSharing::Heap) {
-        Thread *t = img.scheduler().current();
-        int tid = t ? t->id() : 0;
-        stack = &img.simStackFor(tid, img.currentCompartment());
+        stack = &img.simStackFor(tid, comp, strategy);
         savedTop = stack->top;
     }
 

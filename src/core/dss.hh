@@ -9,8 +9,10 @@
  * rewrites references to shared stack variables into shadow references.
  *
  * A DssFrame is the runtime analogue of one function's stack frame
- * after that rewrite. Its allocation strategy follows the configured
- * StackSharing:
+ * after that rewrite. Its allocation strategy follows the StackSharing
+ * resolved for the boundary that entered the compartment (the gate
+ * matrix's per-(from, to) `stack_sharing` policy; the global config
+ * key is just the `'*' -> '*'` default):
  *  - Dss:         bump the private stack; shadow = ptr + stackBytes.
  *  - SharedStack: bump the (entirely shared) stack; shadow = ptr.
  *  - Heap:        one shared-heap allocation per variable (the costly

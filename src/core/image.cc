@@ -1,5 +1,6 @@
 #include "core/image.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/logging.hh"
@@ -64,6 +65,7 @@ Image::Image(Machine &m, Scheduler &s, SafetyConfig config,
     // One backend per distinct mechanism; each boundary's crossing is
     // enforced under the gate matrix's resolved (from, to) policy.
     gates = GateMatrix::build(cfg);
+    gateBuckets.resize(comps.size() * comps.size());
     for (Mechanism m : cfg.mechanisms())
         backends.push_back(makeBackend(m));
     compBackends.resize(comps.size(), nullptr);
@@ -73,6 +75,91 @@ Image::Image(Machine &m, Scheduler &s, SafetyConfig config,
                 compBackends[i] = b.get();
         panic_if(!compBackends[i], "compartment without a backend");
     }
+
+    // Least privilege is checked at build for everything the build can
+    // see: a `deny:` rule on an edge the static call graph needs is a
+    // configuration contradiction, not a runtime surprise.
+    rejectDeniedStaticEdges();
+}
+
+void
+Image::rejectDeniedStaticEdges() const
+{
+    for (const auto &[lib, compName] : cfg.libraries) {
+        int from = compartmentIndexOf(lib);
+        for (const std::string &callee : reg.get(lib).callees) {
+            if (!reg.contains(callee))
+                continue;
+            auto it = libToComp.find(callee);
+            if (it == libToComp.end())
+                continue; // unassigned TCB service: local to the caller
+            int to = it->second;
+            // Mirrors resolveCallee: TCB libraries are local to
+            // callers whose mechanism replicates the kernel.
+            if (from == to ||
+                (reg.get(callee).tcb && backendFor(from).replicatesTcb()))
+                continue;
+            fatal_if(policyFor(from, to).deny, "boundary ",
+                     cfg.compartments[static_cast<std::size_t>(from)]
+                         .name,
+                     " -> ",
+                     cfg.compartments[static_cast<std::size_t>(to)].name,
+                     " is denied but the static call graph needs it: ",
+                     lib, " calls ", callee,
+                     " (re-allow the edge with 'deny: false' or move "
+                     "the libraries)");
+        }
+    }
+}
+
+void
+Image::enforceBoundary(int from, int to, const GatePolicy &pol)
+{
+    if (pol.deny) {
+        mach.bump("gate.denied");
+        throw DeniedCrossing(
+            cfg.compartments[static_cast<std::size_t>(from)].name,
+            cfg.compartments[static_cast<std::size_t>(to)].name);
+    }
+    if (!pol.rate)
+        return;
+
+    // Token bucket in virtual time: `rate` tokens per `rateWindow`
+    // vcycles, starting full. The refill is fractional so a budget of
+    // N/window behaves identically to k*N/(k*window).
+    GateBucket &b =
+        gateBuckets[static_cast<std::size_t>(from) * comps.size() +
+                    static_cast<std::size_t>(to)];
+    Cycles now = mach.cycles();
+    double rate = static_cast<double>(pol.rate);
+    if (!b.primed) {
+        b.tokens = rate;
+        b.primed = true;
+    } else if (now > b.lastRefill) {
+        double refill = static_cast<double>(now - b.lastRefill) * rate /
+                        static_cast<double>(pol.rateWindow);
+        b.tokens = std::min(rate, b.tokens + refill);
+    }
+    b.lastRefill = now;
+
+    if (b.tokens < 1.0) {
+        mach.bump("gate.throttled");
+        if (pol.overflow == RateOverflow::Fail)
+            throw ThrottledCrossing(
+                cfg.compartments[static_cast<std::size_t>(from)].name,
+                cfg.compartments[static_cast<std::size_t>(to)].name);
+        // Stall: back-pressure the caller until the next token
+        // refills. Waiting is not work, so the virtual clock advances
+        // without the hardening multiplier (machine.stallCycles).
+        auto wait = static_cast<Cycles>(
+            (1.0 - b.tokens) * static_cast<double>(pol.rateWindow) /
+                rate +
+            1.0);
+        mach.stall(wait);
+        b.tokens = 1.0;
+        b.lastRefill = mach.cycles();
+    }
+    b.tokens -= 1.0;
 }
 
 IsolationBackend &
@@ -237,10 +324,12 @@ Image::registerRegions()
 void
 Image::unregisterRegions()
 {
-    // Sim stacks were registered lazily; drop those regions too.
+    // Sim stacks were registered lazily; drop those regions too. Each
+    // stack's own recorded sharing mode decides whether a separate
+    // DSS-half region exists (the mode is per boundary, not global).
     for (auto &[key, stack] : simStacks) {
         mach.memMap.remove(stack.mem.get());
-        if (cfg.stackSharing == StackSharing::Dss)
+        if (stack.sharing == StackSharing::Dss)
             mach.memMap.remove(stack.mem.get() + SimStack::stackBytes);
     }
     simStacks.clear();
@@ -373,7 +462,7 @@ Image::heapOf(const std::string &lib)
 }
 
 SimStack &
-Image::simStackFor(int threadId, int comp)
+Image::simStackFor(int threadId, int comp, StackSharing sharing)
 {
     auto key = std::make_pair(threadId, comp);
     auto it = simStacks.find(key);
@@ -382,6 +471,7 @@ Image::simStackFor(int threadId, int comp)
 
     SimStack stack;
     stack.mem = std::make_unique<char[]>(2 * SimStack::stackBytes);
+    stack.sharing = sharing;
     char *base = stack.mem.get();
     Compartment &c = *comps[static_cast<std::size_t>(comp)];
 
@@ -396,7 +486,7 @@ Image::simStackFor(int threadId, int comp)
 
     std::string tag = "stack-t" + std::to_string(threadId) + "-c" +
                       std::to_string(comp);
-    switch (cfg.stackSharing) {
+    switch (sharing) {
       case StackSharing::Dss:
         // Lower half private, upper half (the DSS) in the shared domain.
         addPrivate(base, SimStack::stackBytes, tag);
@@ -425,7 +515,7 @@ Image::reapSimStacks(int threadId)
     auto it = simStacks.lower_bound({threadId, 0});
     while (it != simStacks.end() && it->first.first == threadId) {
         mach.memMap.remove(it->second.mem.get());
-        if (cfg.stackSharing == StackSharing::Dss)
+        if (it->second.sharing == StackSharing::Dss)
             mach.memMap.remove(it->second.mem.get() +
                                SimStack::stackBytes);
         it = simStacks.erase(it);

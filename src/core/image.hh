@@ -38,6 +38,45 @@ namespace flexos {
 /** Shared-domain protection key (the last MPK key, paper 4.1). */
 inline constexpr ProtKey sharedProtKey = 15;
 
+/**
+ * Raised by Image::gate() when the (from, to) boundary carries
+ * `deny: true`: the configuration declares the edge unreachable
+ * (least-privilege call graph). Statically-known call edges are
+ * rejected at image build instead; this error covers dynamic
+ * crossings the static graph does not see. Counted in `gate.denied`.
+ */
+class DeniedCrossing : public std::runtime_error
+{
+  public:
+    DeniedCrossing(const std::string &from, const std::string &to)
+        : std::runtime_error("denied crossing " + from + " -> " + to),
+          from(from), to(to)
+    {
+    }
+
+    std::string from;
+    std::string to;
+};
+
+/**
+ * Raised by Image::gate() when a rate-limited boundary overflows its
+ * token budget and the policy's overflow action is `fail`. Counted in
+ * `gate.throttled` (the `stall` action bumps the same counter but
+ * back-pressures the caller instead of raising).
+ */
+class ThrottledCrossing : public std::runtime_error
+{
+  public:
+    ThrottledCrossing(const std::string &from, const std::string &to)
+        : std::runtime_error("throttled crossing " + from + " -> " + to),
+          from(from), to(to)
+    {
+    }
+
+    std::string from;
+    std::string to;
+};
+
 /** RAII guard setting the machine work multiplier for a scope. */
 class WorkMultGuard
 {
@@ -110,6 +149,13 @@ struct SimStack
 
     std::unique_ptr<char[]> mem; ///< 2 * stackBytes
     std::size_t top = 0;         ///< bump offset within the private half
+    /**
+     * The sharing strategy this stack was laid out under — a
+     * per-boundary policy since the gate matrix carries
+     * `stack_sharing`; recorded so teardown removes the right regions
+     * and DssFrame follows the layout the stack actually has.
+     */
+    StackSharing sharing = StackSharing::Dss;
 };
 
 /**
@@ -167,8 +213,11 @@ class Image
         }
         // Per-boundary dispatch: the (from, to) cell of the gate
         // matrix decides how this crossing is enforced — mechanism,
-        // MPK flavour, entry validation and return-side scrubbing.
+        // MPK flavour, entry validation, return-side scrubbing, and
+        // the least-privilege rules (deny, crossing-rate budget)
+        // checked before any gate cost is charged.
         const GatePolicy &pol = policyFor(from, to);
+        enforceBoundary(from, to, pol);
         if (pol.validateEntry) {
             // Policy-forced caller-side entry validation: one probe of
             // the callee's export table, whatever the mechanism's own
@@ -234,8 +283,47 @@ class Image
     /** Hardening context of the current compartment. */
     const HardeningContext &currentHardening() const;
 
-    /** The per-(thread, compartment) simulated stack, lazily built. */
-    SimStack &simStackFor(int threadId, int comp);
+    /**
+     * The per-(thread, compartment) simulated stack, lazily built
+     * under the given sharing strategy (the crossing boundary's
+     * resolved `stack_sharing`). An already-built stack keeps the
+     * layout of its first crossing.
+     */
+    SimStack &simStackFor(int threadId, int comp, StackSharing sharing);
+
+    /** Convenience overload: the compartment's own resolved strategy. */
+    SimStack &
+    simStackFor(int threadId, int comp)
+    {
+        return simStackFor(threadId, comp, stackSharingFor(comp));
+    }
+
+    /**
+     * The shared-stack strategy in force for frames opened while
+     * executing in a compartment with no crossing context: the
+     * matrix's (comp, comp) cell, which wildcard rules naming the
+     * compartment on either side reach.
+     */
+    StackSharing
+    stackSharingFor(int comp) const
+    {
+        return gates.at(comp, comp).stackSharing;
+    }
+
+    /**
+     * The strategy a DssFrame opened by (thread, comp) must follow:
+     * the layout of the thread's existing stack in the compartment
+     * (created by the crossing that entered it), falling back to the
+     * compartment's own resolved strategy.
+     */
+    StackSharing
+    frameStrategyFor(int threadId, int comp) const
+    {
+        auto it = simStacks.find({threadId, comp});
+        if (it != simStacks.end())
+            return it->second.sharing;
+        return stackSharingFor(comp);
+    }
 
     /** Generated linker-script analogue describing the memory layout. */
     std::string linkerScript() const;
@@ -304,8 +392,24 @@ class Image
     int resolveCallee(const std::string &lib, int from) const;
     void checkEntry(const std::string &lib, const char *fnName, int to,
                     const GatePolicy &pol) const;
+    /**
+     * Least-privilege enforcement of one crossing: raises
+     * DeniedCrossing on a denied edge, and debits the boundary's
+     * token bucket on a rate-limited one (stalling the virtual clock
+     * or raising ThrottledCrossing on overflow, per the policy).
+     */
+    void enforceBoundary(int from, int to, const GatePolicy &pol);
+    void rejectDeniedStaticEdges() const;
     void registerRegions();
     void unregisterRegions();
+
+    /** Token bucket of one rate-limited boundary (vcycle refill). */
+    struct GateBucket
+    {
+        double tokens = 0;
+        Cycles lastRefill = 0;
+        bool primed = false; ///< bucket starts full on first crossing
+    };
 
     Machine &mach;
     Scheduler &sched;
@@ -327,6 +431,8 @@ class Image
     std::unique_ptr<TlsfAllocator> sharedHeapAlloc;
 
     std::map<std::string, double> libMults;
+    /** Row-major [from * n + to] buckets for rate-limited boundaries. */
+    std::vector<GateBucket> gateBuckets;
     std::map<std::pair<int, int>, SimStack> simStacks;
     std::map<std::pair<int, int>, std::uint64_t> crossings;
     std::vector<const void *> registeredRegions;

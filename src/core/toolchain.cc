@@ -159,17 +159,18 @@ Toolchain::build(Machine &m, Scheduler &s, const SafetyConfig &cfg)
     }
 
     // --- Shared-data annotation instantiation ------------------------
-    const char *strategyName =
-        cfg.stackSharing == StackSharing::Dss ? "dss"
-        : cfg.stackSharing == StackSharing::Heap ? "shared-heap"
-                                                 : "shared-stack";
+    // Stack sharing is a per-boundary policy: report the strategy the
+    // matrix resolves for each library's home compartment (wildcard
+    // rules and the global default all land in the (c, c) cell).
     for (const auto &[lib, compName] : cfg.libraries) {
         const LibraryInfo &info = reg.get(lib);
         if (info.sharedVars == 0)
             continue;
+        int comp = img->compartmentIndexOf(lib);
         std::ostringstream line;
         line << lib << ": " << info.sharedVars
-             << " __shared annotations -> " << strategyName;
+             << " __shared annotations -> "
+             << stackSharingName(img->stackSharingFor(comp));
         rep.transformations.push_back(line.str());
         rep.annotationsReplaced += info.sharedVars;
     }

@@ -52,7 +52,11 @@ class Toolchain
      * libraries placed outside the trusted compartment when any
      * compartment's mechanism does not replicate the kernel.
      * Mixed-mechanism configurations are legal: each (from, to)
-     * boundary is enforced under its GateMatrix policy.
+     * boundary is enforced under its GateMatrix policy. Matrix
+     * resolution also rejects equal-specificity rule conflicts;
+     * `deny:` rules covering statically-needed call edges are
+     * rejected at image build (Image's constructor), which build()
+     * below reaches — `tools/config_lint` warns about them earlier.
      */
     void validate(const SafetyConfig &cfg) const;
 

@@ -144,6 +144,23 @@ compareSafety(const ConfigPoint &a, const ConfigPoint &b)
     }
     acc = combine(acc, aFlavLe, bFlavLe);
 
+    // 3c) Least-privilege call graph: denying a superset of edges is
+    // safer. Block ids only line up between identical partitions;
+    // otherwise the dimension is neutral when both sets are empty and
+    // incomparable when either denies anything.
+    {
+        std::set<std::pair<int, int>> da(a.deniedEdges.begin(),
+                                         a.deniedEdges.end()),
+            db(b.deniedEdges.begin(), b.deniedEdges.end());
+        bool comparable = a.partition == b.partition ||
+                          (da.empty() && db.empty());
+        bool aSubset = std::includes(db.begin(), db.end(), da.begin(),
+                                     da.end());
+        bool bSubset = std::includes(da.begin(), da.end(), db.begin(),
+                                     db.end());
+        acc = combine(acc, comparable && aSubset, comparable && bSubset);
+    }
+
     // 4) Data-isolation strength.
     acc = combine(acc, a.sharingRank <= b.sharingRank,
                   b.sharingRank <= a.sharingRank);

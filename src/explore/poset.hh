@@ -52,6 +52,18 @@ struct ConfigPoint
     /** Data-isolation rank (shared stack=0 < dss=1 < private+heap=2). */
     int sharingRank = 1;
 
+    /**
+     * Least-privilege dimension: ordered (from, to) partition-block
+     * edges the configuration denies (`deny: true` boundary rules).
+     * Denying more edges shrinks the reachable call graph, so the
+     * superset relation orders this dimension: a config denying a
+     * strict superset of another's edges is (probabilistically)
+     * safer. Only meaningful between points over the same partition —
+     * block ids name different things otherwise, making the dimension
+     * incomparable unless both sets are empty.
+     */
+    std::vector<std::pair<int, int>> deniedEdges;
+
     /** Mechanism rank protecting component c's compartment boundary. */
     int mechanismRankOf(std::size_t c) const;
 

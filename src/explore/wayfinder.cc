@@ -1,5 +1,7 @@
 #include "explore/wayfinder.hh"
 
+#include <map>
+#include <set>
 #include <sstream>
 
 #include "apps/deploy.hh"
@@ -123,6 +125,77 @@ gateFlavorSpace()
     return out;
 }
 
+std::vector<std::pair<int, int>>
+requiredBlockEdges(const std::vector<int> &partition,
+                   const std::string &appLib)
+{
+    // Which block every library of the materialized image lands in
+    // (toSafetyConfig places the non-swept components with the app).
+    std::vector<std::string> comps = sweepComponents(appLib);
+    panic_if(partition.size() != comps.size(),
+             "partition arity mismatch");
+    std::map<std::string, int> blockOf;
+    for (std::size_t c = 0; c < comps.size(); ++c)
+        blockOf[comps[c]] = partition[c];
+    int appBlock = partition[0];
+    blockOf["uktime"] = appBlock;
+    if (appLib == "libnginx")
+        blockOf["vfscore"] = appBlock;
+
+    // Cross-block edges of the registry's static call graph. All
+    // sweep points are MPK-only, so no TCB replication applies and
+    // unassigned TCB services (ukalloc) stay local to every caller.
+    LibraryRegistry reg = LibraryRegistry::standard();
+    std::set<std::pair<int, int>> edges;
+    for (const auto &[lib, from] : blockOf) {
+        for (const std::string &callee : reg.get(lib).callees) {
+            auto it = blockOf.find(callee);
+            if (it == blockOf.end() || it->second == from)
+                continue;
+            edges.emplace(from, it->second);
+        }
+    }
+    return {edges.begin(), edges.end()};
+}
+
+std::vector<ConfigPoint>
+leastPrivilegeSpace(const std::string &appLib)
+{
+    std::vector<ConfigPoint> out;
+    for (const auto &partition : fig6Partitions()) {
+        ConfigPoint base;
+        base.partition = partition;
+        int nBlocks = base.compartments();
+
+        // Deniable edges: every ordered cross-block pair the static
+        // call graph does not need. Required edges are never offered
+        // to the sweep — a point denying one would be rejected at
+        // image build, i.e. it is not a reachable configuration.
+        auto required = requiredBlockEdges(partition, appLib);
+        std::set<std::pair<int, int>> keep(required.begin(),
+                                           required.end());
+        std::vector<std::pair<int, int>> deniable;
+        for (int f = 0; f < nBlocks; ++f)
+            for (int t = 0; t < nBlocks; ++t)
+                if (f != t && !keep.count({f, t}))
+                    deniable.emplace_back(f, t);
+
+        for (unsigned mask = 0; mask < (1u << deniable.size());
+             ++mask) {
+            ConfigPoint p;
+            p.partition = partition;
+            p.hardening.assign(partition.size(), 0);
+            p.mechanismRank = 1; // MPK
+            p.sharingRank = 1;   // DSS
+            for (std::size_t e = 0; e < deniable.size(); ++e)
+                if (mask & (1u << e))
+                    p.deniedEdges.push_back(deniable[e]);
+            out.push_back(std::move(p));
+        }
+    }
+    return out;
+}
+
 SafetyConfig
 toSafetyConfig(const ConfigPoint &point, const std::string &appLib)
 {
@@ -159,21 +232,27 @@ toSafetyConfig(const ConfigPoint &point, const std::string &appLib)
     // Per-block gate flavours materialize as callee-side wildcard
     // boundary rules: gates *into* a light block run the ERIM-style
     // light gate (the default is dss, so only light needs a rule).
+    // Denied edges become exact-pair deny rules.
+    std::vector<std::string> rules;
     if (!point.blockGateFlavor.empty()) {
         panic_if(static_cast<int>(point.blockGateFlavor.size()) !=
                      nBlocks,
                  "gate-flavour arity mismatch");
-        bool anyLight = false;
-        for (int f : point.blockGateFlavor)
-            anyLight = anyLight || f == 0;
-        if (anyLight) {
-            cfg << "boundaries:\n";
-            for (int b = 0; b < nBlocks; ++b)
-                if (point.blockGateFlavor[static_cast<std::size_t>(b)] ==
-                    0)
-                    cfg << "- '*' -> comp" << b + 1
-                        << ": {gate: light}\n";
-        }
+        for (int b = 0; b < nBlocks; ++b)
+            if (point.blockGateFlavor[static_cast<std::size_t>(b)] == 0)
+                rules.push_back("- '*' -> comp" + std::to_string(b + 1) +
+                                ": {gate: light}");
+    }
+    for (const auto &[f, t] : point.deniedEdges) {
+        panic_if(f < 0 || t < 0 || f >= nBlocks || t >= nBlocks,
+                 "denied edge names an unknown partition block");
+        rules.push_back("- comp" + std::to_string(f + 1) + " -> comp" +
+                        std::to_string(t + 1) + ": {deny: true}");
+    }
+    if (!rules.empty()) {
+        cfg << "boundaries:\n";
+        for (const std::string &r : rules)
+            cfg << r << "\n";
     }
     return SafetyConfig::parse(cfg.str());
 }
@@ -220,6 +299,16 @@ pointLabel(const ConfigPoint &point, const std::string &appLib)
             oss << (point.blockGateFlavor[b] == 0 ? "light" : "dss");
         }
         oss << ">";
+    }
+    if (!point.deniedEdges.empty()) {
+        oss << " deny{";
+        for (std::size_t e = 0; e < point.deniedEdges.size(); ++e) {
+            if (e)
+                oss << ",";
+            oss << point.deniedEdges[e].first + 1 << "->"
+                << point.deniedEdges[e].second + 1;
+        }
+        oss << "}";
     }
     return oss.str();
 }

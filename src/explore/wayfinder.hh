@@ -52,12 +52,35 @@ std::vector<ConfigPoint> mixedMechanismSpace();
 std::vector<ConfigPoint> gateFlavorSpace();
 
 /**
+ * The (from, to) partition-block edges the application's *static call
+ * graph* needs under a partition: the edges a least-privilege config
+ * must keep. Everything else is deniable without rejecting the image
+ * at build.
+ */
+std::vector<std::pair<int, int>>
+requiredBlockEdges(const std::vector<int> &partition,
+                   const std::string &appLib);
+
+/**
+ * The least-privilege dimension of the configuration space: the five
+ * Figure 8 partitions (all-MPK, no hardening, DSS) crossed with every
+ * subset of *deniable* block edges — ordered pairs the static call
+ * graph does not need. Edges the call graph requires are never
+ * enumerated as denied (such points would be rejected at image
+ * build), so the wayfinder sweeps only buildable least-privilege
+ * graphs; denying a superset of edges orders points in the poset.
+ */
+std::vector<ConfigPoint>
+leastPrivilegeSpace(const std::string &appLib = "libredis");
+
+/**
  * Materialize a sweep point as a full safety configuration for the
  * given application (DSS, as Figure 6 fixes). Homogeneous points map
  * every compartment to intel-mpk; points carrying blockMechanism get
  * one mechanism per compartment (none/intel-mpk/vm-ept/cheri by
  * rank); points carrying blockGateFlavor emit a `boundaries:` section
- * with one wildcard rule per light block.
+ * with one wildcard rule per light block; deniedEdges add one
+ * `deny: true` rule per edge.
  */
 SafetyConfig toSafetyConfig(const ConfigPoint &point,
                             const std::string &appLib);

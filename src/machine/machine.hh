@@ -75,6 +75,21 @@ class Machine
     }
 
     /**
+     * Advance the clock through a stall: time spent *waiting* (e.g. a
+     * rate-limited gate back-pressuring until its token bucket
+     * refills), not executing — so the work multiplier does not apply.
+     * Stalled time is accounted separately in `machine.stallCycles`.
+     */
+    void
+    stall(Cycles c)
+    {
+        if (!chargingEnabled)
+            return;
+        cycleCount += c;
+        bump("machine.stallCycles", c);
+    }
+
+    /**
      * Work multiplier applied to every charge; call gates set it to the
      * target compartment's software-hardening factor (paper 4.5: KASan,
      * UBSan etc. instrument the component's own execution). 1.0 = none.

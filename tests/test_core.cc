@@ -441,8 +441,11 @@ TEST_F(CoreFixture, LightGateCheaperThanDssGate)
         MachineScope s2(m2);
         Scheduler sched2(m2);
         SafetyConfig c2 = cfg;
-        c2.boundaries.push_back(
-            BoundaryRule{"*", "*", flavor, {}, {}});
+        BoundaryRule rule;
+        rule.from = "*";
+        rule.to = "*";
+        rule.flavor = flavor;
+        c2.boundaries.push_back(rule);
         Toolchain tc2(reg);
         auto img = tc2.build(m2, sched2, c2);
         Cycles before = m2.cycles();

@@ -384,5 +384,77 @@ TEST(Wayfinder, LabelsRenderPartitionAndHardening)
     EXPECT_NE(label.find("●"), std::string::npos);
 }
 
+TEST(CompareSafety, DeniedEdgeSupersetIsSafer)
+{
+    ConfigPoint base;
+    base.partition = {0, 0, 1, 2};
+    base.hardening = {0, 0, 0, 0};
+
+    ConfigPoint one = base, two = base, other = base;
+    one.deniedEdges = {{1, 2}};
+    two.deniedEdges = {{1, 2}, {2, 1}};
+    other.deniedEdges = {{2, 1}};
+
+    // Denying more edges is safer; disjoint sets are incomparable.
+    EXPECT_EQ(compareSafety(base, one), SafetyOrder::Less);
+    EXPECT_EQ(compareSafety(one, two), SafetyOrder::Less);
+    EXPECT_EQ(compareSafety(two, one), SafetyOrder::Greater);
+    EXPECT_EQ(compareSafety(one, other), SafetyOrder::Incomparable);
+
+    // Across different partitions block ids do not line up: the
+    // dimension only stays comparable when neither denies anything.
+    ConfigPoint coarser = base;
+    coarser.partition = {0, 0, 1, 1};
+    EXPECT_EQ(compareSafety(coarser, base), SafetyOrder::Less);
+    coarser.deniedEdges = {{0, 1}};
+    EXPECT_EQ(compareSafety(coarser, one), SafetyOrder::Incomparable);
+}
+
+TEST(Wayfinder, LeastPrivilegeSpaceSkipsRequiredEdges)
+{
+    // Every enumerated point must be buildable: denied edges never
+    // include an edge the static call graph needs, so validation and
+    // matrix resolution succeed for all of them.
+    LibraryRegistry reg = LibraryRegistry::standard();
+    Toolchain tc(reg);
+    auto space = wayfinder::leastPrivilegeSpace();
+    EXPECT_GE(space.size(), 5u); // at least the 5 bare partitions
+    bool sawDeny = false;
+    for (const ConfigPoint &p : space) {
+        SafetyConfig cfg = wayfinder::toSafetyConfig(p, "libredis");
+        EXPECT_NO_THROW(tc.validate(cfg));
+        if (!p.deniedEdges.empty()) {
+            // Image build runs the static-edge deny rejection; a
+            // least-privilege point must never trip it.
+            Machine mach;
+            MachineScope scope(mach);
+            Scheduler sched(mach);
+            cfg.heapBytes = 64 * 1024;
+            cfg.sharedHeapBytes = 64 * 1024;
+            EXPECT_NO_THROW(tc.build(mach, sched, cfg)->shutdown());
+        }
+        auto required =
+            wayfinder::requiredBlockEdges(p.partition, "libredis");
+        for (const auto &edge : p.deniedEdges) {
+            sawDeny = true;
+            for (const auto &req : required)
+                EXPECT_NE(edge, req);
+        }
+        // The matrix resolves the deny rules the point asked for.
+        GateMatrix m = GateMatrix::build(cfg);
+        for (const auto &[f, t] : p.deniedEdges)
+            EXPECT_TRUE(m.at(f, t).deny);
+    }
+    EXPECT_TRUE(sawDeny); // the dimension is not degenerate
+
+    // Denied labels render and the points order in the poset.
+    for (const ConfigPoint &p : space) {
+        if (p.deniedEdges.empty())
+            continue;
+        EXPECT_NE(wayfinder::pointLabel(p, "libredis").find("deny{"),
+                  std::string::npos);
+    }
+}
+
 } // namespace
 } // namespace flexos

@@ -707,23 +707,26 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TcpLossTest,
 /** Out-of-order reassembly without loss: delay every 5th frame. */
 TEST_F(TcpFixture, ReassemblesReorderedSegments)
 {
-    int counter = 0;
-    std::optional<NetBuf> held;
-    link.endA().rxFilter = [&](NetBuf &f) -> bool {
-        ++counter;
-        if (counter % 5 == 0 && !held) {
-            held = std::move(f);
+    // Shared (not stack) state: the reinject fiber below is resumed
+    // one last time by the fixture's cancelAll() after the test body
+    // has returned, so anything it touches must outlive this scope.
+    auto counter = std::make_shared<int>(0);
+    auto held = std::make_shared<std::optional<NetBuf>>();
+    link.endA().rxFilter = [counter, held](NetBuf &f) -> bool {
+        ++*counter;
+        if (*counter % 5 == 0 && !*held) {
+            *held = std::move(f);
             return false;
         }
         return true;
     };
     // A separate fiber re-injects held frames after a short delay,
     // producing genuine reordering rather than loss.
-    sched.spawn("reinject", [&] {
+    sched.spawn("reinject", [this, held] {
         for (int i = 0; i < 2000; ++i) {
-            if (held) {
-                NetBuf f = std::move(*held);
-                held.reset();
+            if (*held) {
+                NetBuf f = std::move(**held);
+                held->reset();
                 // Bypass the filter to avoid re-holding.
                 auto saved = link.endA().rxFilter;
                 link.endA().rxFilter = nullptr;

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Markdown link check for README.md and docs/: every relative link
+# must name a file that exists (anchors are stripped; http(s) links
+# are skipped — CI has no network guarantee). Run from anywhere:
+#   tools/check_links.sh [repo-root]
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+fail=0
+checked=0
+
+for md in "$root"/README.md "$root"/docs/*.md; do
+    [ -f "$md" ] || continue
+    dir=$(dirname "$md")
+    # All (target) parts of [text](target) links, one per line.
+    targets=$(grep -o '](\([^)]*\))' "$md" | sed 's/^](//; s/)$//')
+    while IFS= read -r t; do
+        [ -n "$t" ] || continue
+        case "$t" in
+            http://*|https://*|mailto:*) continue ;;
+        esac
+        path="${t%%#*}"            # strip anchor
+        [ -n "$path" ] || continue # pure in-page anchor
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ] && [ ! -e "$root/$path" ]; then
+            echo "check-links: $md: broken link '$t'" >&2
+            fail=1
+        fi
+    done <<EOF
+$targets
+EOF
+done
+
+echo "check-links: $checked relative link(s) checked"
+exit $fail

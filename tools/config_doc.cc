@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Config-reference generator: prints docs/config-reference.md to
+ * stdout (or writes it to the file named by argv[1]) from the same
+ * key tables SafetyConfig::parse dispatches on — the documentation
+ * cannot name a key the parser does not accept, or miss one it does.
+ * CI regenerates the file and fails on diff so the reference cannot
+ * drift from the parser.
+ *
+ * Usage:
+ *     config_doc                 # markdown on stdout
+ *     config_doc <output-file>   # write (for the CI freshness check)
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/config.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string md = flexos::configReferenceMarkdown();
+    if (argc < 2) {
+        std::cout << md;
+        return 0;
+    }
+    std::ofstream out(argv[1]);
+    if (!out) {
+        std::fprintf(stderr, "config-doc: cannot write %s\n", argv[1]);
+        return 2;
+    }
+    out << md;
+    return 0;
+}

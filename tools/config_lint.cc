@@ -9,6 +9,13 @@
  *
  * Blocks that are intentionally malformed (rejection tests) opt out
  * with a `lint-skip` marker inside or immediately before the literal.
+ *
+ * On top of parse + validate, the lint runs a reachability pass over
+ * `deny:` boundary rules: a denied edge that is a compartment's only
+ * path to one of its static dependencies (the image build will reject
+ * it), and a compartment denied from every other compartment (legal
+ * but suspicious — nothing can ever call into it), are reported as
+ * warnings.
  */
 
 #include <algorithm>
@@ -18,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.hh"
 #include "core/toolchain.hh"
 
 using namespace flexos;
@@ -64,6 +72,93 @@ looksLikeConfig(const std::string &s)
            s.find("libraries:") != std::string::npos;
 }
 
+/**
+ * Least-privilege reachability lint. The direct call is a library's
+ * *only* path to a dependency (there is no transitive routing through
+ * other compartments), so a deny rule covering a statically needed
+ * edge starves the caller; flag it before the image build rejects it.
+ * Also flag compartments denied from everywhere (dead code unless
+ * they spawn their own threads).
+ *
+ * @return number of warnings printed.
+ */
+int
+lintDenyReachability(const char *file, std::size_t line,
+                     const SafetyConfig &cfg, const LibraryRegistry &reg)
+{
+    bool anyDeny = false;
+    for (const BoundaryRule &r : cfg.boundaries)
+        anyDeny = anyDeny || (r.deny && *r.deny);
+    if (!anyDeny)
+        return 0;
+
+    int warnings = 0;
+    GateMatrix m = GateMatrix::build(cfg);
+
+    // 1) Denied static-dependency edges: the compartment's only path
+    // to the callee library is the direct gate the rule forbids.
+    for (const auto &[lib, compName] : cfg.libraries) {
+        int from = cfg.compartmentIndex(compName);
+        if (!reg.contains(lib))
+            continue;
+        for (const std::string &callee : reg.get(lib).callees) {
+            int to = -1;
+            for (const auto &[other, oc] : cfg.libraries)
+                if (other == callee)
+                    to = cfg.compartmentIndex(oc);
+            if (to < 0 || to == from)
+                continue;
+            // Callers on a TCB-replicating mechanism keep TCB
+            // libraries local and never cross this edge — ask the
+            // backend itself (the same predicate the image build
+            // uses) rather than hardcoding which mechanisms do.
+            Mechanism callerMech =
+                cfg.compartments[static_cast<std::size_t>(from)]
+                    .mechanism;
+            if (reg.get(callee).tcb &&
+                makeBackend(callerMech)->replicatesTcb())
+                continue;
+            if (m.at(from, to).deny) {
+                std::fprintf(stderr,
+                             "config-lint: %s:%zu: warning: boundary "
+                             "%s -> %s is denied but it is %s's only "
+                             "path to its dependency %s (image build "
+                             "will reject this config)\n",
+                             file, line, compName.c_str(),
+                             cfg.compartments[static_cast<std::size_t>(
+                                                  to)]
+                                 .name.c_str(),
+                             lib.c_str(), callee.c_str());
+                ++warnings;
+            }
+        }
+    }
+
+    // 2) Compartments unreachable from every other compartment. The
+    // default compartment is exempt: threads start there, so denying
+    // all inbound edges is the normal least-privilege posture.
+    std::size_t n = cfg.compartments.size();
+    for (std::size_t t = 0; t < n; ++t) {
+        if (cfg.compartments[t].isDefault)
+            continue;
+        bool reachable = n == 1;
+        for (std::size_t f = 0; f < n && !reachable; ++f)
+            reachable = f != t && !m.at(static_cast<int>(f),
+                                        static_cast<int>(t))
+                                       .deny;
+        if (!reachable) {
+            std::fprintf(stderr,
+                         "config-lint: %s:%zu: warning: compartment "
+                         "'%s' is denied from every other compartment "
+                         "— nothing can ever gate into it\n",
+                         file, line,
+                         cfg.compartments[t].name.c_str());
+            ++warnings;
+        }
+    }
+    return warnings;
+}
+
 } // namespace
 
 int
@@ -72,7 +167,7 @@ main(int argc, char **argv)
     LibraryRegistry reg = LibraryRegistry::standard();
     Toolchain tc(reg);
 
-    int checked = 0, failed = 0;
+    int checked = 0, failed = 0, warned = 0;
     for (int i = 1; i < argc; ++i) {
         std::ifstream in(argv[i]);
         if (!in) {
@@ -90,6 +185,8 @@ main(int argc, char **argv)
             try {
                 SafetyConfig cfg = SafetyConfig::parse(b.text);
                 tc.validate(cfg);
+                warned +=
+                    lintDenyReachability(argv[i], b.line, cfg, reg);
             } catch (const std::exception &e) {
                 ++failed;
                 std::fprintf(stderr, "config-lint: %s:%zu: %s\n",
@@ -97,7 +194,8 @@ main(int argc, char **argv)
             }
         }
     }
-    std::printf("config-lint: %d config(s) checked, %d failed\n",
-                checked, failed);
+    std::printf("config-lint: %d config(s) checked, %d failed, "
+                "%d warning(s)\n",
+                checked, failed, warned);
     return failed ? 1 : 0;
 }
