@@ -13,10 +13,16 @@
  * A second, multi-flow mode (`--flows [N...]`, also run by default)
  * drives N parallel connections through one listener and reports the
  * aggregate goodput, exercising the accept backlog, the flow table and
- * per-connection reassembly under concurrent traffic. The machine
- * model is a single simulated core, so aggregate goodput is expected
- * to hold steady (not multiply) as flows are added; the interesting
- * signals are fairness and the absence of collapse.
+ * per-connection reassembly under concurrent traffic. With `--cores
+ * [M...]` the server machine simulates M cores: RSS steers each
+ * connection to one core's RX queue, the per-queue pollers and flow
+ * workers are pinned there, and aggregate goodput is expected to scale
+ * with cores (wall time is the furthest-ahead core's clock). On one
+ * core it holds steady (not multiplying) as flows are added; the
+ * interesting signals are fairness and the absence of collapse.
+ *
+ * `--json [path]` additionally writes the flows x cores matrix to a
+ * JSON snapshot (default BENCH_fig09.json) for regression tracking.
  */
 
 #include <cstdio>
@@ -93,12 +99,16 @@ run(const std::string &cfgText, std::size_t bufSize,
     return res.gbitPerSec;
 }
 
+constexpr std::size_t multiBufSize = 16 * 1024;
+constexpr std::uint64_t multiBytesPerFlow = 256 * 1024;
+
 IperfResult
 runMulti(const std::string &cfgText, unsigned flows, std::size_t bufSize,
-         std::uint64_t bytesPerFlow)
+         std::uint64_t bytesPerFlow, unsigned cores = 1)
 {
     SafetyConfig cfg = SafetyConfig::parse(cfgText);
     cfg.stackSharing = StackSharing::Dss;
+    cfg.cores = cores ? cores : 1;
     DeployOptions opts;
     opts.withFs = false;
     Deployment dep(cfg, opts);
@@ -107,36 +117,96 @@ runMulti(const std::string &cfgText, unsigned flows, std::size_t bufSize,
         runIperfMulti(dep.image(), dep.libc(), dep.clientStack(),
                       bytesPerFlow, bufSize, flows);
     dep.stop();
+    if (std::getenv("FLEXOS_FIG09_DEBUG")) {
+        Machine &m = dep.machine();
+        for (unsigned c = 0; c < m.coreCount(); ++c)
+            std::fprintf(stderr, "  core%u: %llu cycles\n", c,
+                         static_cast<unsigned long long>(
+                             m.coreCycles(static_cast<int>(c))));
+        for (const auto &[k, v] : m.counters())
+            if (k.rfind("sched.", 0) == 0 || k.rfind("nic.", 0) == 0 ||
+                k.rfind("machine.", 0) == 0 || k.rfind("tcp.", 0) == 0)
+                std::fprintf(stderr, "  %s = %llu\n", k.c_str(),
+                             static_cast<unsigned long long>(v));
+    }
     return res;
 }
 
 void
-multiFlowTable(const std::vector<unsigned> &flowCounts)
+multiFlowTable(const std::vector<unsigned> &flowCounts,
+               const std::vector<unsigned> &coreCounts)
 {
-    constexpr std::size_t bufSize = 16 * 1024;
-    constexpr std::uint64_t bytesPerFlow = 256 * 1024;
-
     std::printf("\n=== Multi-flow iPerf: aggregate goodput (Gb/s) vs "
                 "concurrent connections (FlexOS-NONE, %zu B buffer) "
                 "===\n",
-                bufSize);
-    std::printf("%-8s %-12s %-14s %-12s\n", "flows", "aggregate",
-                "per-flow avg", "vs first");
+                multiBufSize);
+    std::printf("%-8s %-8s %-12s %-14s %-12s\n", "flows", "cores",
+                "aggregate", "per-flow avg", "vs first");
 
     double single = 0;
     for (unsigned flows : flowCounts) {
-        IperfResult res =
-            runMulti(noneCfg, flows, bufSize, bytesPerFlow);
-        if (flows == 1 || single == 0)
-            single = res.gbitPerSec;
-        char ratio[32];
-        std::snprintf(ratio, sizeof(ratio), "%.2fx",
-                      single > 0 ? res.gbitPerSec / single : 0);
-        std::printf("%-8u %-12.3f %-14.3f %-12s\n", flows,
-                    res.gbitPerSec, res.gbitPerSec / flows, ratio);
+        for (unsigned cores : coreCounts) {
+            IperfResult res = runMulti(noneCfg, flows, multiBufSize,
+                                       multiBytesPerFlow, cores);
+            if (single == 0)
+                single = res.gbitPerSec;
+            char ratio[32];
+            std::snprintf(ratio, sizeof(ratio), "%.2fx",
+                          single > 0 ? res.gbitPerSec / single : 0);
+            std::printf("%-8u %-8u %-12.3f %-14.3f %-12s\n", flows,
+                        cores, res.gbitPerSec,
+                        res.gbitPerSec / flows, ratio);
+        }
     }
-    std::printf("\nexpected shape: aggregate holds (single simulated "
-                "core); no collapse as flows scale\n");
+    if (coreCounts.size() == 1 && coreCounts[0] == 1)
+        std::printf("\nexpected shape: aggregate holds (single "
+                    "simulated core); no collapse as flows scale\n");
+    else
+        std::printf("\nexpected shape: aggregate scales with cores "
+                    "while flows >= cores (RSS spreads connections); "
+                    "holds steady per core count as flows grow\n");
+}
+
+/**
+ * The flows x cores goodput matrix as a JSON snapshot
+ * (BENCH_fig09.json): the regression-tracked artefact for the SMP
+ * machine model.
+ */
+void
+emitJson(const char *path, const std::vector<unsigned> &flowCounts,
+         const std::vector<unsigned> &coreCounts)
+{
+    FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "fig09_iperf: cannot write %s\n", path);
+        std::exit(2);
+    }
+    std::fprintf(f, "{\n"
+                    "  \"bench\": \"fig09_iperf_multiflow\",\n"
+                    "  \"config\": \"flexos-none\",\n"
+                    "  \"buf_bytes\": %zu,\n"
+                    "  \"bytes_per_flow\": %llu,\n"
+                    "  \"results\": [\n",
+                 multiBufSize,
+                 static_cast<unsigned long long>(multiBytesPerFlow));
+    bool first = true;
+    for (unsigned flows : flowCounts) {
+        for (unsigned cores : coreCounts) {
+            IperfResult res = runMulti(noneCfg, flows, multiBufSize,
+                                       multiBytesPerFlow, cores);
+            std::fprintf(f,
+                         "%s    {\"flows\": %u, \"cores\": %u, "
+                         "\"gbps\": %.3f, \"seconds\": %.6f, "
+                         "\"bytes\": %llu}",
+                         first ? "" : ",\n", flows, cores,
+                         res.gbitPerSec, res.seconds,
+                         static_cast<unsigned long long>(res.bytes));
+            first = false;
+        }
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
 }
 
 } // namespace
@@ -145,24 +215,57 @@ int
 main(int argc, char **argv)
 {
     // `--flows [N...]` runs only the multi-flow table, optionally with
-    // an explicit list of connection counts.
-    if (argc > 1 && std::strcmp(argv[1], "--flows") == 0) {
-        std::vector<unsigned> counts;
-        for (int i = 2; i < argc; ++i) {
-            char *end = nullptr;
-            unsigned long v = std::strtoul(argv[i], &end, 10);
-            if (end == argv[i] || *end != '\0' || v == 0 || v > 1024) {
-                std::fprintf(stderr,
-                             "fig09_iperf: invalid flow count '%s' "
-                             "(expected 1..1024)\n",
-                             argv[i]);
-                return 2;
-            }
-            counts.push_back(static_cast<unsigned>(v));
+    // an explicit list of connection counts. `--cores [M...]` adds
+    // simulated core counts as a second sweep dimension, and
+    // `--json [path]` writes the matrix to a snapshot file.
+    std::vector<unsigned> flowCounts;
+    std::vector<unsigned> coreCounts;
+    bool flowsMode = false;
+    bool jsonMode = false;
+    const char *jsonPath = "BENCH_fig09.json";
+    std::vector<unsigned> *sink = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--flows") == 0) {
+            flowsMode = true;
+            sink = &flowCounts;
+            continue;
         }
-        if (counts.empty())
-            counts = {1, 2, 4, 8, 16, 32};
-        multiFlowTable(counts);
+        if (std::strcmp(argv[i], "--cores") == 0) {
+            flowsMode = true;
+            sink = &coreCounts;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--json") == 0) {
+            flowsMode = true;
+            jsonMode = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-' &&
+                (argv[i + 1][0] < '0' || argv[i + 1][0] > '9'))
+                jsonPath = argv[++i];
+            sink = nullptr;
+            continue;
+        }
+        char *end = nullptr;
+        unsigned long v = std::strtoul(argv[i], &end, 10);
+        if (!sink || end == argv[i] || *end != '\0' || v == 0 ||
+            v > 1024) {
+            std::fprintf(stderr,
+                         "fig09_iperf: invalid argument '%s' (usage: "
+                         "[--flows N...] [--cores M...] "
+                         "[--json [path]])\n",
+                         argv[i]);
+            return 2;
+        }
+        sink->push_back(static_cast<unsigned>(v));
+    }
+    if (flowsMode) {
+        if (flowCounts.empty())
+            flowCounts = {1, 2, 4, 8, 16, 32};
+        if (coreCounts.empty())
+            coreCounts = {1};
+        if (jsonMode)
+            emitJson(jsonPath, flowCounts, coreCounts);
+        else
+            multiFlowTable(flowCounts, coreCounts);
         return 0;
     }
 
@@ -189,6 +292,6 @@ main(int argc, char **argv)
     std::printf("\nexpected shape: NONE==Unikraft; light >= dss >= ept "
                 "at small buffers; all converge as the buffer grows\n");
 
-    multiFlowTable({1, 2, 4, 8, 16, 32});
+    multiFlowTable({1, 2, 4, 8, 16, 32}, {1});
     return 0;
 }

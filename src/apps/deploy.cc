@@ -20,7 +20,11 @@ Deployment::Deployment(SafetyConfig cfg, DeployOptions opts)
 void
 Deployment::init(SafetyConfig cfg, const DeployOptions &opts)
 {
-    mach = std::make_unique<Machine>(opts.timing);
+    // The config's `cores:` knob sizes the machine; everything below
+    // (scheduler run queues, NIC RSS queues, EPT server shards) scales
+    // off Machine::coreCount().
+    mach = std::make_unique<Machine>(opts.timing,
+                                     cfg.cores ? cfg.cores : 1);
     scope = std::make_unique<MachineScope>(*mach);
     sched = std::make_unique<Scheduler>(*mach);
     tc = std::make_unique<Toolchain>(reg);
@@ -41,6 +45,12 @@ Deployment::init(SafetyConfig cfg, const DeployOptions &opts)
         // must fire promptly relative to server virtual time.
         clientNet->baseRtoNs = 5'000'000;
         serverNet->baseRtoNs = 5'000'000;
+        // Multi-core server: RSS steers each connection's frames to
+        // one core's RX queue (the client stack models a separate
+        // load-generator box and stays single-queue).
+        if (mach->coreCount() > 1 &&
+            img->config().steering == NicSteering::Rss)
+            serverNet->enableRss(mach->coreCount());
     }
 
     if (opts.withFs) {
@@ -93,28 +103,43 @@ Deployment::start()
         return;
     stopPollers = false;
 
-    // The server-side poller is lwip code: it runs in lwip's
-    // compartment so its packet work is charged (and hardened) there.
+    // The server-side pollers are lwip code: they run in lwip's
+    // compartment so their packet work is charged (and hardened)
+    // there. One poller per RX queue, each pinned to its queue's core
+    // (queue q's flows are serviced by core q — the RSS contract).
     bool lwipInImage = false;
     for (const auto &[lib, comp] : img->config().libraries)
         if (lib == "lwip")
             lwipInImage = true;
-    auto pollBody = [this] {
-        while (!stopPollers) {
-            serverNet->pollOnce();
-            sched->yield();
-        }
-    };
-    if (lwipInImage)
-        img->spawnIn("lwip", "lwip-poll", pollBody);
-    else
-        sched->spawn("lwip-poll", pollBody);
+    std::size_t queues = serverNet->rxQueueCount();
+    for (std::size_t q = 0; q < queues; ++q) {
+        auto pollBody = [this, q] {
+            while (!stopPollers) {
+                if (serverNet->pollQueue(q))
+                    sched->yield();
+                else
+                    serverNet->waitQueueActivity(q);
+            }
+        };
+        std::string name = queues > 1
+                               ? "lwip-poll-q" + std::to_string(q)
+                               : "lwip-poll";
+        Thread *t = lwipInImage
+                        ? img->spawnIn("lwip", name, pollBody)
+                        : sched->spawn(name, pollBody);
+        sched->pin(t, static_cast<int>(q % mach->coreCount()));
+    }
 
-    // The client poller models the load-generator machine: free.
+    // The client poller models the load-generator machine: free, and
+    // event-driven like the server pollers — a spinning free thread
+    // would keep the run queues non-empty forever and starve the
+    // scheduler's idle jumps that fire timers.
     Thread *cp = sched->spawn("client-poll", [this] {
         while (!stopPollers) {
-            clientNet->pollOnce();
-            sched->yield();
+            if (clientNet->pollOnce())
+                sched->yield();
+            else
+                clientNet->waitQueueActivity(0);
         }
     });
     cp->freeRunning = true;
@@ -127,8 +152,13 @@ Deployment::stop()
     if (!pollersRunning)
         return;
     stopPollers = true;
-    // Give the pollers a chance to observe the flag and exit.
-    sched->runUntil([] { return false; }, 64);
+    // Kick blocked pollers and give everyone a chance to observe the
+    // flag and exit.
+    if (serverNet)
+        serverNet->wakePollers();
+    if (clientNet)
+        clientNet->wakePollers();
+    sched->runUntil([] { return false; }, 256);
     pollersRunning = false;
 }
 

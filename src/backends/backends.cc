@@ -85,6 +85,33 @@ class DomainTransition
     int savedComp;
 };
 
+/**
+ * RAII return-leg gate charge. Crossings are charged in two halves —
+ * the entry sequence up front, the return sequence when the callee
+ * hands control back — so per-direction policy (scrub_return,
+ * validate_return) attaches to the right half. Charged from a
+ * destructor so an exception unwinding through the gate still pays
+ * the return transition (it re-enters the caller's domain the same
+ * way), keeping the aggregate round-trip numbers in timing.hh exact.
+ *
+ * Declare *before* DomainTransition: the return leg must be charged
+ * after the transition restores the caller's work multiplier, which
+ * is the multiplier the entry leg was charged under.
+ */
+class ReturnCharge
+{
+  public:
+    ReturnCharge(Machine &m, Cycles c) : mach(m), cost(c) {}
+    ~ReturnCharge() { mach.consume(cost); }
+
+    ReturnCharge(const ReturnCharge &) = delete;
+    ReturnCharge &operator=(const ReturnCharge &) = delete;
+
+  private:
+    Machine &mach;
+    Cycles cost;
+};
+
 /** Single-domain backend: everything is one compartment. */
 class NoneBackend : public IsolationBackend
 {
@@ -154,13 +181,16 @@ class MpkBackend : public IsolationBackend
               const std::function<void()> &body) override
     {
         auto &m = img.machine();
+        Cycles returnCost = 0;
         if (policy.flavor == MpkGateFlavor::Light) {
             // ERIM-style: wrpkru pair around a normal call; stack and
             // register set are shared with the callee (nothing to
-            // scrub on return). The callee's sim stack (used by any
-            // DssFrame it opens) still follows this boundary's
-            // stack-sharing policy.
-            m.consume(m.timing.mpkLightGate);
+            // scrub on return). Entry leg is the first wrpkru + call;
+            // the second wrpkru + return is charged on the way back.
+            // The callee's sim stack (used by any DssFrame it opens)
+            // still follows this boundary's stack-sharing policy.
+            m.consume(m.timing.mpkLightGate - m.timing.mpkLightReturn);
+            returnCost = m.timing.mpkLightReturn;
             m.bump("gate.mpk.light");
             Thread *t = img.scheduler().current();
             if (t)
@@ -172,12 +202,13 @@ class MpkBackend : public IsolationBackend
             // asymmetric policy can waive the return-side scrub (e.g.
             // returns into the caller's own VM re-enter trusted state),
             // saving the register save/zero on the way back.
-            Cycles cost = m.timing.mpkDssGate;
+            m.consume(m.timing.mpkDssGate - m.timing.mpkDssReturn);
+            returnCost = m.timing.mpkDssReturn;
             if (!policy.scrubReturn) {
-                cost -= std::min(cost, m.timing.registerSaveZero);
+                returnCost -=
+                    std::min(returnCost, m.timing.registerSaveZero);
                 m.bump("gate.mpk.dss.noscrub");
             }
-            m.consume(cost);
             m.bump("gate.mpk.dss");
             // Touch the per-thread compartment stack registry so the
             // target stack exists (the functional stack switch), laid
@@ -187,6 +218,7 @@ class MpkBackend : public IsolationBackend
                 img.simStackFor(t->id(), to, policy.stackSharing);
         }
         img.noteCrossing(from, to);
+        ReturnCharge rc(m, returnCost);
         DomainTransition dt(img, to, workMult);
         body();
     }
@@ -196,8 +228,15 @@ class MpkBackend : public IsolationBackend
 class EptBackend : public IsolationBackend
 {
   public:
-    /** Elastic pool cap: a VM never grows past this many servers. */
+    /** Elastic pool cap: a shard never grows past this many servers. */
     static constexpr int maxServersPerVm = 8;
+
+    /**
+     * Idle grace before an elastic server retires (virtual ns): long
+     * enough to ride out RPC bursts, short enough that a drained
+     * boundary returns to its base pool size.
+     */
+    static constexpr std::uint64_t elasticRetireNs = 1'000'000;
 
     Mechanism mechanism() const override { return Mechanism::VmEpt; }
     const char *name() const override { return "vm-ept"; }
@@ -215,18 +254,28 @@ class EptBackend : public IsolationBackend
         // is ever routed here for them).
         vms.resize(img.compartmentCount());
         Scheduler &sched = img.scheduler();
+        // One shard per core: ring, idle queue and server pool are
+        // core-local, so two cores crossing into the same VM never
+        // contend on one ring. Callers enqueue on their own core's
+        // shard; servers are pinned to their shard's core.
+        std::size_t shardCount = img.machine().coreCount();
 
         for (std::size_t vmId = 0; vmId < vms.size(); ++vmId) {
             if (!ownsCompartment(*this, img, vmId))
                 continue;
             auto &vm = vms[vmId];
-            vm.serverIdle = std::make_unique<WaitQueue>(sched);
-            // Base pool size is the compartment's `servers:` knob; the
-            // pool grows elastically under load (blocked RPC bodies —
-            // socket waits — would otherwise occupy the whole pool).
+            vm.shards.resize(shardCount);
+            for (auto &sh : vm.shards)
+                sh.serverIdle = std::make_unique<WaitQueue>(sched);
+            // Base pool size is the compartment's `servers:` knob,
+            // dealt round-robin across the shards; each shard grows
+            // elastically under load (blocked RPC bodies — socket
+            // waits — would otherwise occupy the whole pool).
             int base = img.compartmentAt(vmId).spec.servers;
             for (int s = 0; s < base; ++s)
-                spawnServer(img, vmId);
+                spawnServer(img, vmId,
+                            static_cast<std::size_t>(s) % shardCount,
+                            /*elastic=*/false);
         }
     }
 
@@ -235,8 +284,9 @@ class EptBackend : public IsolationBackend
     {
         stopping = true;
         for (auto &vm : vms)
-            if (vm.serverIdle)
-                vm.serverIdle->wakeAll();
+            for (auto &sh : vm.shards)
+                if (sh.serverIdle)
+                    sh.serverIdle->wakeAll();
         // Let the servers observe the flag and exit; other long-running
         // threads (e.g. net pollers) may keep yielding meanwhile.
         img.scheduler().runUntil(
@@ -270,13 +320,16 @@ class EptBackend : public IsolationBackend
         // unwind.
         std::uint64_t drained = 0;
         for (auto &vm : vms) {
-            while (!vm.ring.empty()) {
-                Rpc *rpc = vm.ring.front();
-                vm.ring.pop_front();
-                rpc->error = std::make_exception_ptr(ThreadCancelled{});
-                rpc->done = true;
-                rpc->doneWait->wakeAll();
-                ++drained;
+            for (auto &sh : vm.shards) {
+                while (!sh.ring.empty()) {
+                    Rpc *rpc = sh.ring.front();
+                    sh.ring.pop_front();
+                    rpc->error =
+                        std::make_exception_ptr(ThreadCancelled{});
+                    rpc->done = true;
+                    rpc->doneWait->wakeAll();
+                    ++drained;
+                }
             }
         }
         if (drained)
@@ -296,17 +349,22 @@ class EptBackend : public IsolationBackend
         panic_if(!caller, "EPT RPC gate requires a thread context");
 
         // Caller side: place the "function pointer" and arguments in
-        // the predefined shared area (paper 4.2) and wait. A policy
-        // waiving the return-side scrub skips the register save/zero
-        // the caller would otherwise redo when the RPC completes.
-        Cycles cost = m.timing.eptGate;
+        // the predefined shared area (paper 4.2) and wait. The entry
+        // leg is the request marshalling + doorbell; the response
+        // unmarshalling is charged when the RPC completes (also when
+        // it completes by raising — the error unwinds back through
+        // the same shared area). A policy waiving the return-side
+        // scrub skips the register save/zero the caller would
+        // otherwise redo when the RPC completes.
+        m.consume(m.timing.eptGate - m.timing.eptReturn);
+        Cycles returnCost = m.timing.eptReturn;
         if (!policy.scrubReturn) {
-            cost -= std::min(cost, m.timing.registerSaveZero);
+            returnCost -= std::min(returnCost, m.timing.registerSaveZero);
             m.bump("gate.ept.noscrub");
         }
-        m.consume(cost);
         m.bump("gate.ept");
         img.noteCrossing(from, to);
+        ReturnCharge rc(m, returnCost);
 
         Rpc rpc;
         rpc.body = &body;
@@ -318,29 +376,39 @@ class EptBackend : public IsolationBackend
         rpc.doneWait = &doneWait;
 
         auto &vm = vms[static_cast<std::size_t>(to)];
-        panic_if(!vm.serverIdle,
+        panic_if(vm.shards.empty(),
                  "EPT RPC routed to a compartment without a VM");
-        vm.ring.push_back(&rpc);
-        // Ring-depth high-water mark: the deepest any VM's request
+        // Core-local shard: the caller enqueues on its own core's
+        // ring, so concurrent crossings from different cores into the
+        // same VM proceed independently.
+        auto &sh =
+            vm.shards[static_cast<std::size_t>(m.activeCore()) %
+                      vm.shards.size()];
+        sh.ring.push_back(&rpc);
+        // Ring-depth high-water mark: the deepest any shard's request
         // ring ever got (pool pressure; ROADMAP "EPT server pool
         // sizing"). The machine counter tracks the max across VMs and
         // survives reboots, so it only ratchets upward.
-        if (vm.ring.size() > vm.ringHighWater) {
-            vm.ringHighWater = vm.ring.size();
+        if (sh.ring.size() > sh.ringHighWater) {
+            sh.ringHighWater = sh.ring.size();
             std::uint64_t cur = m.counter("gate.ept.ringDepth");
-            if (vm.ringHighWater > cur)
-                m.bump("gate.ept.ringDepth", vm.ringHighWater - cur);
+            if (sh.ringHighWater > cur)
+                m.bump("gate.ept.ringDepth", sh.ringHighWater - cur);
         }
-        // Elastic growth: if every server is busy (running or blocked
-        // inside an RPC body) and requests are queueing, add a server
-        // up to the cap so blocked bodies can't starve the boundary.
-        int idle = static_cast<int>(vm.pool.size()) - vm.busy;
-        if (static_cast<int>(vm.ring.size()) > idle &&
-            static_cast<int>(vm.pool.size()) < poolCap(img, to)) {
-            spawnServer(img, static_cast<std::size_t>(to));
+        // Elastic growth: if every server in the shard is busy
+        // (running or blocked inside an RPC body) and requests are
+        // queueing, add a server up to the cap so blocked bodies
+        // can't starve the boundary.
+        int idle = static_cast<int>(sh.pool.size()) - sh.busy;
+        if (static_cast<int>(sh.ring.size()) > idle &&
+            static_cast<int>(sh.pool.size()) < poolCap(img, to)) {
+            spawnServer(img, static_cast<std::size_t>(to),
+                        static_cast<std::size_t>(m.activeCore()) %
+                            vm.shards.size(),
+                        /*elastic=*/true);
             m.bump("gate.ept.elasticSpawns");
         }
-        vm.serverIdle->wakeOne();
+        sh.serverIdle->wakeOne();
 
         while (!rpc.done)
             doneWait.wait();
@@ -363,16 +431,23 @@ class EptBackend : public IsolationBackend
         WaitQueue *doneWait = nullptr;
     };
 
-    struct Vm
+    /** One core's slice of a VM's RPC machinery. */
+    struct Shard
     {
         std::deque<Rpc *> ring; ///< the shared-memory request ring
         std::unique_ptr<WaitQueue> serverIdle;
-        std::vector<Thread *> pool; ///< this VM's server threads
+        std::vector<Thread *> pool; ///< this shard's server threads
         int busy = 0;               ///< servers inside an RPC body
         std::size_t ringHighWater = 0;
     };
 
-    /** Elastic pool ceiling: at least the configured base size. */
+    struct Vm
+    {
+        /** Core-sharded rings/pools; indexed by the caller's core. */
+        std::vector<Shard> shards;
+    };
+
+    /** Per-shard elastic ceiling: at least the configured base size. */
     int
     poolCap(Image &img, int vmId)
     {
@@ -383,37 +458,63 @@ class EptBackend : public IsolationBackend
     }
 
     void
-    spawnServer(Image &img, std::size_t vmId)
+    spawnServer(Image &img, std::size_t vmId, std::size_t shardIdx,
+                bool elastic)
     {
         Scheduler &sched = img.scheduler();
         auto &vm = vms[vmId];
-        std::string name = "ept-vm" + std::to_string(vmId) + "-rpc" +
-                           std::to_string(vm.pool.size());
-        Thread *t = sched.spawn(
-            name, [this, &img, vmId] { serverLoop(img, vmId); });
+        auto &sh = vm.shards[shardIdx];
+        std::string name = "ept-vm" + std::to_string(vmId);
+        if (vm.shards.size() > 1)
+            name += "-c" + std::to_string(shardIdx);
+        name += "-rpc" + std::to_string(sh.pool.size());
+        // Pinned to the shard's core: the server must drain the ring
+        // its callers fill, and the work-stealer must not migrate it.
+        Thread *t = sched.spawnOn(
+            static_cast<int>(shardIdx), std::move(name),
+            [this, &img, vmId, shardIdx, elastic] {
+                serverLoop(img, vmId, shardIdx, elastic);
+            });
         t->currentCompartment = static_cast<int>(vmId);
         t->pkru = img.compartmentAt(vmId).domain;
         // Server threads execute inside the VM: its private (keyless)
         // memory is mapped for them and nothing else's.
         t->vm = static_cast<int>(vmId);
-        vm.pool.push_back(t);
+        sh.pool.push_back(t);
         serverThreads.push_back(t);
     }
 
     void
-    serverLoop(Image &img, std::size_t vmId)
+    serverLoop(Image &img, std::size_t vmId, std::size_t shardIdx,
+               bool elastic)
     {
         auto &m = img.machine();
-        auto &vm = vms[vmId];
+        auto &sh = vms[vmId].shards[shardIdx];
         while (!stopping) {
-            if (vm.ring.empty()) {
+            if (sh.ring.empty()) {
                 // Busy-wait in the paper; cooperatively idle here (the
-                // MONITOR/MWAIT variant it also describes).
-                vm.serverIdle->wait();
+                // MONITOR/MWAIT variant it also describes). Elastic
+                // servers idle with a deadline: one that sees no work
+                // for the grace period retires, shrinking the pool
+                // back towards its configured base size.
+                if (elastic) {
+                    bool woken = img.scheduler().blockFor(
+                        *sh.serverIdle, elasticRetireNs);
+                    if (!woken && sh.ring.empty() && !stopping) {
+                        auto &pool = sh.pool;
+                        pool.erase(std::remove(pool.begin(), pool.end(),
+                                               img.scheduler().current()),
+                                   pool.end());
+                        m.bump("gate.ept.elasticRetires");
+                        return;
+                    }
+                } else {
+                    sh.serverIdle->wait();
+                }
                 continue;
             }
-            Rpc *rpc = vm.ring.front();
-            vm.ring.pop_front();
+            Rpc *rpc = sh.ring.front();
+            sh.ring.pop_front();
 
             // The RPC server checks the function is a legal API entry
             // point before executing it (paper 4.2). Image::checkEntry
@@ -433,14 +534,14 @@ class EptBackend : public IsolationBackend
                     img.simStackFor(self->id(),
                                     static_cast<int>(vmId),
                                     rpc->stackSharing);
-                ++vm.busy;
+                ++sh.busy;
                 try {
                     WorkMultGuard guard(m, rpc->workMult);
                     (*rpc->body)();
                 } catch (...) {
                     rpc->error = std::current_exception();
                 }
-                --vm.busy;
+                --sh.busy;
             }
             rpc->done = true;
             rpc->doneWait->wakeAll();
@@ -476,10 +577,13 @@ class CheriBackend : public IsolationBackend
         auto &m = img.machine();
         // Capability + register clear dominates; the return-side clear
         // can be waived by an asymmetric policy like the MPK gate's.
-        Cycles cost = m.timing.registerSaveZero + m.timing.mpkDssGate;
+        // Entry leg carries the extra capability save; the return leg
+        // mirrors the full MPK gate's.
+        m.consume(m.timing.registerSaveZero +
+                  (m.timing.mpkDssGate - m.timing.mpkDssReturn));
+        Cycles returnCost = m.timing.mpkDssReturn;
         if (!policy.scrubReturn)
-            cost -= std::min(cost, m.timing.registerSaveZero);
-        m.consume(cost);
+            returnCost -= std::min(returnCost, m.timing.registerSaveZero);
         m.bump("gate.cheri");
         // The callee's sim stack follows this boundary's
         // stack-sharing policy, as on the MPK gates.
@@ -487,6 +591,7 @@ class CheriBackend : public IsolationBackend
         if (t)
             img.simStackFor(t->id(), to, policy.stackSharing);
         img.noteCrossing(from, to);
+        ReturnCharge rc(m, returnCost);
         DomainTransition dt(img, to, workMult);
         body();
     }

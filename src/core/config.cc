@@ -94,6 +94,23 @@ rateOverflowName(RateOverflow o)
     return o == RateOverflow::Stall ? "stall" : "fail";
 }
 
+NicSteering
+steeringFromName(const std::string &name)
+{
+    std::string n = toLower(trim(name));
+    if (n == "rss")
+        return NicSteering::Rss;
+    if (n == "single")
+        return NicSteering::Single;
+    fatal("unknown steering '", name, "' (expected rss or single)");
+}
+
+const char *
+steeringName(NicSteering s)
+{
+    return s == NicSteering::Rss ? "rss" : "single";
+}
+
 Hardening
 hardeningFromName(const std::string &name)
 {
@@ -222,6 +239,14 @@ const BoundaryKey boundaryKeyTable[] = {
      [](BoundaryRule &r, const std::string &v, int) {
          r.validate = parseBool(v);
      }},
+    {"validate_return", "true | false",
+     "Validate the return site when the crossing comes back — the "
+     "return-path mirror of `validate`, charged on the return leg of "
+     "the gate (entry and return are modelled per direction). "
+     "Default: false.",
+     [](BoundaryRule &r, const std::string &v, int) {
+         r.validateReturn = parseBool(v);
+     }},
     {"scrub", "true | false",
      "Scrub the register set on the return path (DSS/EPT/CHERI "
      "gates); `false` waives the return-side save/zero on edges whose "
@@ -252,6 +277,15 @@ const BoundaryKey boundaryKeyTable[] = {
      "Default: 1000000.",
      [](BoundaryRule &r, const std::string &v, int lineNo) {
          r.window = parseCount(v, lineNo, "window", 12);
+     }},
+    {"weight", "<factor>",
+     "QoS weight of the edge's token bucket: the effective budget is "
+     "`rate` x `weight`, biasing boundaries that inherit a shared "
+     "wildcard `rate:` instead of starving callers FIFO-less. "
+     "Throttled crossings also bump `gate.throttled.<from>`. "
+     "Default: 1.",
+     [](BoundaryRule &r, const std::string &v, int lineNo) {
+         r.weight = parseCount(v, lineNo, "weight", 6);
      }},
     {"overflow", "stall | fail",
      "What a crossing beyond the `rate` budget does: stall the caller "
@@ -376,9 +410,10 @@ parseBoundaryRule(const std::string &key, const std::string &value,
     // that tune how crossings behave is contradictory, so reject it
     // here rather than silently ignoring the other keys.
     bool denied = rule.deny && *rule.deny;
-    fatal_if(denied && (rule.flavor || rule.validate || rule.scrub ||
-                        rule.rate || rule.window || rule.overflow ||
-                        rule.stackSharing),
+    fatal_if(denied && (rule.flavor || rule.validate ||
+                        rule.validateReturn || rule.scrub ||
+                        rule.rate || rule.window || rule.weight ||
+                        rule.overflow || rule.stackSharing),
              "config line ", lineNo, ": boundary rule '",
              rule.edgeName(),
              "' sets deny: true alongside other keys — a denied edge "
@@ -398,12 +433,16 @@ GatePolicy::name() const
         s += flavor == MpkGateFlavor::Light ? "(light)" : "(dss)";
     if (validateEntry)
         s += "+validate";
+    if (validateReturn)
+        s += "+validate-return";
     if (!scrubReturn)
         s += "-scrub";
     if (rate) {
         s += "+rate(" + std::to_string(rate);
         if (rateWindow != defaultRateWindow)
             s += "/" + std::to_string(rateWindow);
+        if (weight != 1)
+            s += ",w" + std::to_string(weight);
         if (overflow == RateOverflow::Fail)
             s += ",fail";
         s += ")";
@@ -420,18 +459,21 @@ enum PolicyField
 {
     FieldFlavor,
     FieldValidate,
+    FieldValidateReturn,
     FieldScrub,
     FieldDeny,
     FieldRate,
     FieldWindow,
+    FieldWeight,
     FieldOverflow,
     FieldStackSharing,
     FieldCount,
 };
 
 const char *const policyFieldName[FieldCount] = {
-    "gate", "validate", "scrub",    "deny",
-    "rate", "window",   "overflow", "stack_sharing",
+    "gate",   "validate", "validate_return", "scrub",
+    "deny",   "rate",     "window",          "weight",
+    "overflow", "stack_sharing",
 };
 
 /** Which rule last set a field of a cell, and at what layer. */
@@ -528,10 +570,13 @@ GateMatrix::build(const SafetyConfig &cfg)
 
                     apply(FieldFlavor, p.flavor, r.flavor);
                     apply(FieldValidate, p.validateEntry, r.validate);
+                    apply(FieldValidateReturn, p.validateReturn,
+                          r.validateReturn);
                     apply(FieldScrub, p.scrubReturn, r.scrub);
                     apply(FieldDeny, p.deny, r.deny);
                     apply(FieldRate, p.rate, r.rate);
                     apply(FieldWindow, p.rateWindow, r.window);
+                    apply(FieldWeight, p.weight, r.weight);
                     apply(FieldOverflow, p.overflow, r.overflow);
                     apply(FieldStackSharing, p.stackSharing,
                           r.stackSharing);
@@ -622,6 +667,17 @@ SafetyConfig::parse(const std::string &text)
             rule.to = "*";
             rule.flavor = flavorFromName(value, lineNo);
             cfg.boundaries.push_back(std::move(rule));
+            continue;
+        }
+
+        // SMP knobs, accepted in the same top-level positions.
+        if (!isItem && current == nullptr && key == "cores") {
+            cfg.cores = static_cast<unsigned>(
+                parseCount(value, lineNo, "cores", 3));
+            continue;
+        }
+        if (!isItem && current == nullptr && key == "steering") {
+            cfg.steering = steeringFromName(value);
             continue;
         }
 
@@ -735,6 +791,10 @@ SafetyConfig::toText() const
     if (stackSharing != StackSharing::Dss && !sharingInRules)
         oss << "stack_sharing: " << stackSharingName(stackSharing)
             << "\n";
+    if (cores != 1)
+        oss << "cores: " << cores << "\n";
+    if (steering != NicSteering::Rss)
+        oss << "steering: " << steeringName(steering) << "\n";
     if (!boundaries.empty()) {
         auto quoted = [](const std::string &s) {
             return s == "*" ? std::string("'*'") : s;
@@ -763,6 +823,11 @@ SafetyConfig::toText() const
                 sep();
                 oss << "validate: " << (*r.validate ? "true" : "false");
             }
+            if (r.validateReturn) {
+                sep();
+                oss << "validate_return: "
+                    << (*r.validateReturn ? "true" : "false");
+            }
             if (r.scrub) {
                 sep();
                 oss << "scrub: " << (*r.scrub ? "true" : "false");
@@ -778,6 +843,10 @@ SafetyConfig::toText() const
             if (r.window) {
                 sep();
                 oss << "window: " << *r.window;
+            }
+            if (r.weight) {
+                sep();
+                oss << "weight: " << *r.weight;
             }
             if (r.overflow) {
                 sep();
@@ -872,6 +941,17 @@ configKeyReference()
                        "Legacy global MPK flavour knob; desugars to a "
                        "`'*' -> '*': {gate: ...}` rule. Prefer "
                        "`boundaries:`."});
+        out.push_back({"(top level)", "cores", "<count>",
+                       "Simulated cores the image boots; each gets its "
+                       "own run queue, NIC receive queue and poller. "
+                       "`cores: 1` is the exact single-core model. "
+                       "Default: 1."});
+        out.push_back({"(top level)", "steering", "rss | single",
+                       "Flow steering across cores: hash each "
+                       "connection's 4-tuple to a per-core queue (rss) "
+                       "or funnel everything through queue 0 (single). "
+                       "Only meaningful when cores > 1. Default: "
+                       "rss."});
         return out;
     }();
     return ref;

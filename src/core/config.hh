@@ -87,6 +87,18 @@ enum class RateOverflow
     Fail,
 };
 
+/**
+ * How the NIC spreads received flows across cores on a multi-core
+ * image (`steering:` key): RSS hashes each connection's 4-tuple to one
+ * of per-core receive queues, `single` funnels everything through
+ * queue 0 (the single-core data path, kept as a control knob).
+ */
+enum class NicSteering
+{
+    Rss,
+    Single,
+};
+
 /** Parse helpers for the enums (fatal on unknown names). */
 Mechanism mechanismFromName(const std::string &name);
 const char *mechanismName(Mechanism m);
@@ -95,6 +107,8 @@ const char *hardeningName(Hardening h);
 StackSharing stackSharingFromName(const std::string &name);
 const char *stackSharingName(StackSharing s);
 const char *rateOverflowName(RateOverflow o);
+NicSteering steeringFromName(const std::string &name);
+const char *steeringName(NicSteering s);
 
 /**
  * Whether a mechanism's compartments occupy an MPK protection key in
@@ -160,6 +174,13 @@ struct GatePolicy
     bool validateEntry = false;
     /** Scrub the register set on the return path (DSS/EPT gates). */
     bool scrubReturn = true;
+    /**
+     * Validate the return site when the crossing comes back, the
+     * return-path mirror of validateEntry: gates charge entry and
+     * return legs separately, and each direction can be audited
+     * independently (`validate_return:` key).
+     */
+    bool validateReturn = false;
 
     /**
      * Statically forbid this edge: crossings of the call graph the
@@ -178,6 +199,15 @@ struct GatePolicy
     std::uint64_t rate = 0;
     std::uint64_t rateWindow = defaultRateWindow;
     RateOverflow overflow = RateOverflow::Stall;
+
+    /**
+     * QoS weight of the edge's token bucket (`weight:` key): the
+     * effective budget is rate x weight, so boundaries sharing a
+     * wildcard `rate:` can be biased per caller instead of starving
+     * FIFO-less. Throttled crossings additionally bump the per-caller
+     * `gate.throttled.<from>` counter. Default 1 (no bias).
+     */
+    std::uint64_t weight = 1;
 
     /**
      * How shared stack variables are materialized for frames opened
@@ -204,10 +234,12 @@ struct BoundaryRule
     std::string to;
     std::optional<MpkGateFlavor> flavor; ///< `gate: light|dss`
     std::optional<bool> validate;        ///< `validate: true|false`
+    std::optional<bool> validateReturn;  ///< `validate_return: ...`
     std::optional<bool> scrub;           ///< `scrub: true|false`
     std::optional<bool> deny;            ///< `deny: true|false`
     std::optional<std::uint64_t> rate;   ///< `rate: N` (crossings)
     std::optional<std::uint64_t> window; ///< `window: N` (vcycles)
+    std::optional<std::uint64_t> weight; ///< `weight: N` (QoS bias)
     std::optional<RateOverflow> overflow; ///< `overflow: stall|fail`
     /** `stack_sharing: heap|dss|shared-stack` */
     std::optional<StackSharing> stackSharing;
@@ -281,6 +313,19 @@ struct SafetyConfig
     std::size_t heapBytes = 8 * 1024 * 1024;
     /** Shared communication heap size (bytes). */
     std::size_t sharedHeapBytes = 4 * 1024 * 1024;
+
+    /**
+     * Simulated cores the image boots (`cores: N`). One per-core NIC
+     * queue and poller is spawned for each; `cores: 1` is the exact
+     * single-core model every earlier config ran under.
+     */
+    unsigned cores = 1;
+
+    /**
+     * Flow steering across cores (`steering:`); only meaningful when
+     * cores > 1. Default RSS.
+     */
+    NicSteering steering = NicSteering::Rss;
 
     /** Parse the YAML-subset text; fatal on malformed input. */
     static SafetyConfig parse(const std::string &text);

@@ -66,6 +66,7 @@ Image::Image(Machine &m, Scheduler &s, SafetyConfig config,
     // enforced under the gate matrix's resolved (from, to) policy.
     gates = GateMatrix::build(cfg);
     gateBuckets.resize(comps.size() * comps.size());
+    compLastCore.assign(comps.size(), -1);
     for (Mechanism m : cfg.mechanisms())
         backends.push_back(makeBackend(m));
     compBackends.resize(comps.size(), nullptr);
@@ -126,12 +127,14 @@ Image::enforceBoundary(int from, int to, const GatePolicy &pol)
 
     // Token bucket in virtual time: `rate` tokens per `rateWindow`
     // vcycles, starting full. The refill is fractional so a budget of
-    // N/window behaves identically to k*N/(k*window).
+    // N/window behaves identically to k*N/(k*window). The policy's QoS
+    // weight scales the edge's effective budget, so boundaries
+    // inheriting one wildcard `rate:` can be biased per caller.
     GateBucket &b =
         gateBuckets[static_cast<std::size_t>(from) * comps.size() +
                     static_cast<std::size_t>(to)];
     Cycles now = mach.cycles();
-    double rate = static_cast<double>(pol.rate);
+    double rate = static_cast<double>(pol.rate * pol.weight);
     if (!b.primed) {
         b.tokens = rate;
         b.primed = true;
@@ -144,6 +147,10 @@ Image::enforceBoundary(int from, int to, const GatePolicy &pol)
 
     if (b.tokens < 1.0) {
         mach.bump("gate.throttled");
+        // Per-caller breakdown: who is being back-pressured matters
+        // for QoS tuning (which `weight:` to raise).
+        mach.bump("gate.throttled." +
+                  cfg.compartments[static_cast<std::size_t>(from)].name);
         if (pol.overflow == RateOverflow::Fail)
             throw ThrottledCrossing(
                 cfg.compartments[static_cast<std::size_t>(from)].name,

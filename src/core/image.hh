@@ -226,14 +226,17 @@ class Image
             mach.bump("gate.validate");
         }
         checkEntry(calleeLib, fnName, to, pol);
+        noteCoreMigration(to);
         IsolationBackend &be = backendOf(pol.mech);
         if constexpr (std::is_void_v<R>) {
             be.crossCall(*this, from, to, pol, calleeLib, fnName, mult,
                          [&] { fn(); });
+            noteReturn(pol);
         } else {
             std::optional<R> result;
             be.crossCall(*this, from, to, pol, calleeLib, fnName, mult,
                          [&] { result.emplace(fn()); });
+            noteReturn(pol);
             return std::move(*result);
         }
     }
@@ -357,6 +360,38 @@ class Image
         ++crossings[{from, to}];
     }
 
+    /**
+     * SMP crossing accounting: when a compartment was last entered
+     * from a different core, its hot state (private stacks, heap
+     * metadata, gate scratch) migrates to the entering core's caches —
+     * charged as `crossCoreMigration` and counted in `gate.crossCore`.
+     */
+    void
+    noteCoreMigration(int to)
+    {
+        int coreNow = mach.activeCore();
+        int &lastCore = compLastCore[static_cast<std::size_t>(to)];
+        if (lastCore >= 0 && lastCore != coreNow) {
+            mach.consume(mach.timing.crossCoreMigration);
+            mach.bump("gate.crossCore");
+        }
+        lastCore = coreNow;
+    }
+
+    /**
+     * Return-leg policy work: `validate_return` boundaries re-probe
+     * the caller's export table on the way back (the symmetric check
+     * to `validate`), charged only when the callee returned normally.
+     */
+    void
+    noteReturn(const GatePolicy &pol)
+    {
+        if (pol.validateReturn) {
+            mach.consume(mach.timing.entryValidate);
+            mach.bump("gate.validate.return");
+        }
+    }
+
     /** The resolved policy of a (from, to) boundary. */
     const GatePolicy &
     policyFor(int from, int to) const
@@ -433,6 +468,8 @@ class Image
     std::map<std::string, double> libMults;
     /** Row-major [from * n + to] buckets for rate-limited boundaries. */
     std::vector<GateBucket> gateBuckets;
+    /** Core each compartment last executed on (-1 = never entered). */
+    std::vector<int> compLastCore;
     std::map<std::pair<int, int>, SimStack> simStacks;
     std::map<std::pair<int, int>, std::uint64_t> crossings;
     std::vector<const void *> registeredRegions;

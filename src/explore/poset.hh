@@ -53,6 +53,14 @@ struct ConfigPoint
     int sharingRank = 1;
 
     /**
+     * Simulated core count the image boots with. A pure performance
+     * dimension: core count does not change the protection state, so
+     * compareSafety ignores it — points differing only in cores are
+     * Equal in the safety order and distinguished by perf alone.
+     */
+    int cores = 1;
+
+    /**
      * Least-privilege dimension: ordered (from, to) partition-block
      * edges the configuration denies (`deny: true` boundary rules).
      * Denying more edges shrinks the reachable call graph, so the

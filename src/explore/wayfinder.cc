@@ -159,6 +159,24 @@ requiredBlockEdges(const std::vector<int> &partition,
 }
 
 std::vector<ConfigPoint>
+coreCountSpace()
+{
+    std::vector<ConfigPoint> out;
+    for (const auto &partition : fig6Partitions()) {
+        for (int cores : {1, 2, 4}) {
+            ConfigPoint p;
+            p.partition = partition;
+            p.hardening.assign(partition.size(), 0);
+            p.mechanismRank = 1; // MPK
+            p.sharingRank = 1;   // DSS
+            p.cores = cores;
+            out.push_back(std::move(p));
+        }
+    }
+    return out;
+}
+
+std::vector<ConfigPoint>
 leastPrivilegeSpace(const std::string &appLib)
 {
     std::vector<ConfigPoint> out;
@@ -254,6 +272,8 @@ toSafetyConfig(const ConfigPoint &point, const std::string &appLib)
         for (const std::string &r : rules)
             cfg << r << "\n";
     }
+    if (point.cores > 1)
+        cfg << "cores: " << point.cores << "\n";
     return SafetyConfig::parse(cfg.str());
 }
 
@@ -310,6 +330,8 @@ pointLabel(const ConfigPoint &point, const std::string &appLib)
         }
         oss << "}";
     }
+    if (point.cores > 1)
+        oss << " x" << point.cores << "cores";
     return oss.str();
 }
 

@@ -52,6 +52,15 @@ std::vector<ConfigPoint> mixedMechanismSpace();
 std::vector<ConfigPoint> gateFlavorSpace();
 
 /**
+ * The SMP dimension of the configuration space: the five Figure 8
+ * partitions (all-MPK, no hardening, DSS) crossed with simulated core
+ * counts {1, 2, 4}. Core count is performance-only — compareSafety
+ * ignores it — so the sweep shows how each partition's gate overhead
+ * scales (or fails to amortize) as RSS spreads flows across cores.
+ */
+std::vector<ConfigPoint> coreCountSpace();
+
+/**
  * The (from, to) partition-block edges the application's *static call
  * graph* needs under a partition: the edges a least-privilege config
  * must keep. Everything else is deniable without rejecting the image

@@ -1,5 +1,6 @@
 #include "machine/machine.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -34,8 +35,10 @@ ProtectionFault::ProtectionFault(const void *addr, ProtKey key,
 {
 }
 
-Machine::Machine(TimingModel tm) : timing(tm)
+Machine::Machine(TimingModel tm, unsigned cores) : timing(tm)
 {
+    panic_if(cores == 0, "a machine needs at least one core");
+    cores_.resize(cores);
 }
 
 Machine::~Machine() = default;
@@ -51,6 +54,72 @@ Machine::nanoseconds() const
 {
     return static_cast<std::uint64_t>(
         std::llround(static_cast<double>(cycleCount) / timing.cpuGhz));
+}
+
+void
+Machine::setActiveCore(int core)
+{
+    panic_if(core < 0 || unsigned(core) >= cores_.size(), "core ", core,
+             " out of range (machine has ", cores_.size(), ")");
+    if (core == active_)
+        return;
+
+    CoreContext &prev = cores_[active_];
+    prev.cycleCount = cycleCount;
+    prev.pkru = pkru;
+    prev.currentVm = currentVm;
+    prev.workMultiplier = workMultiplier;
+    prev.chargingEnabled = chargingEnabled;
+
+    const CoreContext &next = cores_[core];
+    cycleCount = next.cycleCount;
+    pkru = next.pkru;
+    currentVm = next.currentVm;
+    workMultiplier = next.workMultiplier;
+    chargingEnabled = next.chargingEnabled;
+    active_ = core;
+}
+
+Cycles
+Machine::coreCycles(int core) const
+{
+    panic_if(core < 0 || unsigned(core) >= cores_.size(), "core ", core,
+             " out of range (machine has ", cores_.size(), ")");
+    return core == active_ ? cycleCount : cores_[core].cycleCount;
+}
+
+Cycles
+Machine::wallCycles() const
+{
+    Cycles wall = cycleCount;
+    for (int c = 0; c < int(cores_.size()); ++c)
+        wall = std::max(wall, coreCycles(c));
+    return wall;
+}
+
+double
+Machine::wallSeconds() const
+{
+    return static_cast<double>(wallCycles()) / (timing.cpuGhz * 1e9);
+}
+
+void
+Machine::advanceCoreTo(int core, Cycles target)
+{
+    Cycles now = coreCycles(core);
+    if (target <= now)
+        return;
+    chargeCore(core, target - now);
+    bump("machine.idleCycles", target - now);
+}
+
+void
+Machine::chargeCore(int core, Cycles c)
+{
+    if (core == active_)
+        cycleCount += c;
+    else
+        cores_[core].cycleCount += c;
 }
 
 void

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "machine/memmap.hh"
 #include "machine/pkru.hh"
@@ -47,12 +48,28 @@ enum class Enforcement
 };
 
 /**
+ * One core's architectural execution state. The Machine's public
+ * members (clock, PKRU, VM token, work multiplier) act as the *active*
+ * core's register file; setActiveCore() banks them here and loads the
+ * target core's saved state, so all single-core call sites keep working
+ * unchanged and a 1-core machine never swaps at all.
+ */
+struct CoreContext
+{
+    Cycles cycleCount = 0;
+    Pkru pkru;
+    int currentVm = -1;
+    double workMultiplier = 1.0;
+    bool chargingEnabled = true;
+};
+
+/**
  * The simulated machine.
  */
 class Machine
 {
   public:
-    explicit Machine(TimingModel tm = TimingModel{});
+    explicit Machine(TimingModel tm = TimingModel{}, unsigned cores = 1);
     ~Machine();
 
     Machine(const Machine &) = delete;
@@ -87,6 +104,7 @@ class Machine
             return;
         cycleCount += c;
         bump("machine.stallCycles", c);
+        bump("machine.stallCycles.core" + std::to_string(active_), c);
     }
 
     /**
@@ -103,12 +121,46 @@ class Machine
      * do not count towards server-side time).
      */
     bool chargingEnabled = true;
-    /** Cycles elapsed since construction. */
+    /** Cycles elapsed on the active core since construction. */
     Cycles cycles() const { return cycleCount; }
-    /** Virtual wall-clock seconds at the model frequency. */
+    /** Virtual wall-clock seconds on the active core. */
     double seconds() const;
-    /** Virtual nanoseconds. */
+    /** Virtual nanoseconds on the active core. */
     std::uint64_t nanoseconds() const;
+    /** @} */
+
+    /** @name SMP: per-core execution contexts. @{ */
+    /** Number of simulated cores (fixed at construction, >= 1). */
+    unsigned coreCount() const { return unsigned(cores_.size()); }
+
+    /** The core whose register file the public members mirror. */
+    int activeCore() const { return active_; }
+
+    /**
+     * Bank the public register window into the active core's context
+     * and load core's saved state. Called by the scheduler on every
+     * dispatch; a no-op when core is already active (always, on a
+     * 1-core machine — preserving single-core behaviour exactly).
+     */
+    void setActiveCore(int core);
+
+    /** A core's virtual clock (the window for the active core). */
+    Cycles coreCycles(int core) const;
+
+    /** Aggregate wall clock: the furthest-ahead core's clock. */
+    Cycles wallCycles() const;
+    /** Wall-clock seconds at the model frequency. */
+    double wallSeconds() const;
+
+    /**
+     * Jump a core's clock forward to target (no-op if already past):
+     * idle time waiting for work or a cross-core event, charged
+     * without the work multiplier and tallied in machine.idleCycles.
+     */
+    void advanceCoreTo(int core, Cycles target);
+
+    /** Charge cycles directly to a core (active or banked). */
+    void chargeCore(int core, Cycles c);
     /** @} */
 
     /** @name MMU. @{ */
@@ -171,6 +223,10 @@ class Machine
 
     Cycles cycleCount = 0;
     std::map<std::string, std::uint64_t> stats;
+
+    /** Banked register files; cores_[active_] is stale while active. */
+    std::vector<CoreContext> cores_;
+    int active_ = 0;
 };
 
 /**

@@ -67,6 +67,40 @@ struct TimingModel
     Cycles entryValidate = 18;
     /** @} */
 
+    /**
+     * @name Return-leg gate costs.
+     * Each Figure 11b round trip decomposes into an entry and a return
+     * leg charged per direction; entry = round trip - return, so the
+     * totals above stay exact. The return leg of the full MPK gate is
+     * registerSaveZero (scrub on the way out) + stackSwitch back to the
+     * caller stack; `scrub: false` drops the registerSaveZero term.
+     * @{
+     */
+    /** Light MPK gate return: the second wrpkru + return sequence. */
+    Cycles mpkLightReturn = 30;
+    /** Full MPK gate return: scrub + stack switch back. */
+    Cycles mpkDssReturn = 46;
+    /** EPT RPC return: response marshalling + caller-side unpack. */
+    Cycles eptReturn = 64;
+    /** @} */
+
+    /**
+     * @name SMP costs (N-core simulation).
+     * A crossing into a compartment whose working set was last touched
+     * by another core pays a cache/TLB migration penalty; cross-core
+     * wakeups pay an IPI. Calibrated against inter-core cache-line
+     * transfer latencies on the paper's Xeon 4114 testbed (~100-200
+     * cycles per line, a few lines of hot state per event).
+     * @{
+     */
+    /** Inter-processor interrupt: send + remote receipt + EOI. */
+    Cycles ipi = 600;
+    /** Compartment state migration when a crossing changes cores. */
+    Cycles crossCoreMigration = 250;
+    /** Run-queue steal: migrating a ready thread to the idle core. */
+    Cycles stealMigration = 250;
+    /** @} */
+
     /** @name Baseline OS crossing costs (derived from Figure 10). @{ */
     /**
      * seL4/Genode IPC round trip. Derived: seL4 PT3 runs the SQLite

@@ -1,11 +1,37 @@
 #include "net/nic.hh"
 
+#include <algorithm>
+
 namespace flexos {
 
 Link::Link()
 {
     a.peer = &b;
     b.peer = &a;
+}
+
+std::size_t
+NicEndpoint::steerTo(const NetBuf &frame) const
+{
+    if (!steer || rxQueues.size() <= 1)
+        return 0;
+    return steer(frame) % rxQueues.size();
+}
+
+void
+NicEndpoint::configureRss(std::size_t queues, SteerFn steerFn)
+{
+    if (queues == 0)
+        queues = 1;
+    steer = std::move(steerFn);
+    std::vector<std::deque<NetBuf>> old = std::move(rxQueues);
+    rxQueues.assign(queues, {});
+    // Re-steer anything already queued so no frame is stranded in a
+    // queue index that no longer exists (or now belongs to another
+    // flow's poller).
+    for (auto &q : old)
+        for (auto &f : q)
+            rxQueues[steerTo(f)].push_back(std::move(f));
 }
 
 void
@@ -21,22 +47,46 @@ NicEndpoint::transmit(NetBuf frame)
             Machine::current().bump("nic.dropped");
         return;
     }
-    peer->rxQueue.push_back(std::move(frame));
+    std::size_t q = peer->steerTo(frame);
+    if (q != 0 && Machine::hasCurrent())
+        Machine::current().bump("nic.steered");
+    peer->rxQueues[q].push_back(std::move(frame));
+    if (peer->onArrive)
+        peer->onArrive(q);
+}
+
+std::size_t
+NicEndpoint::pending() const
+{
+    std::size_t n = 0;
+    for (const auto &q : rxQueues)
+        n += q.size();
+    return n;
 }
 
 std::optional<NetBuf>
-NicEndpoint::receive()
+NicEndpoint::receiveQueue(std::size_t q)
 {
-    if (rxQueue.empty())
+    auto &rx = rxQueues[q];
+    if (rx.empty())
         return std::nullopt;
     if (Machine::hasCurrent()) {
         auto &m = Machine::current();
         m.consume(m.timing.nicFrame);
         m.bump("nic.rx");
     }
-    NetBuf f = std::move(rxQueue.front());
-    rxQueue.pop_front();
+    NetBuf f = std::move(rx.front());
+    rx.pop_front();
     return f;
+}
+
+std::optional<NetBuf>
+NicEndpoint::receive()
+{
+    for (std::size_t q = 0; q < rxQueues.size(); ++q)
+        if (!rxQueues[q].empty())
+            return receiveQueue(q);
+    return std::nullopt;
 }
 
 } // namespace flexos

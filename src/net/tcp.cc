@@ -534,9 +534,18 @@ NetStack::NetStack(Machine &m, Scheduler &s, NicEndpoint &nicEnd,
     // Size the flow table for hundreds of concurrent connections up
     // front so the hot demux path never rehashes mid-burst.
     flows.reserve(512);
+    queueWaits.push_back(std::make_unique<WaitQueue>(sched));
+    // The interrupt line: a frame landing in queue q wakes that
+    // queue's blocked poller (no-op while pollers busy-poll).
+    nic.onArrive = [this](std::size_t q) {
+        queueWaits[q % queueWaits.size()]->wakeAll();
+    };
 }
 
-NetStack::~NetStack() = default;
+NetStack::~NetStack()
+{
+    nic.onArrive = nullptr;
+}
 
 TcpSocket *
 NetStack::makeSocket()
@@ -752,6 +761,103 @@ NetStack::pollOnce()
     if (timers.poll() > 0)
         worked = true;
     return worked;
+}
+
+bool
+NetStack::pollQueue(std::size_t q)
+{
+    bool worked = false;
+    mach.consume(mach.timing.pollDispatch);
+    while (auto f = nic.receiveQueue(q)) {
+        handleFrame(std::move(*f));
+        worked = true;
+    }
+    // The timer wheel is stack-global (retransmits, probes): exactly
+    // one poller — queue 0's — drives it, so timers never fire twice.
+    if (q == 0 && timers.poll() > 0)
+        worked = true;
+    return worked;
+}
+
+std::uint32_t
+NetStack::rssHash(std::uint32_t srcIp, std::uint16_t srcPort,
+                  std::uint32_t dstIp, std::uint16_t dstPort)
+{
+    // Multiplicative fold of the 4-tuple. The per-field multipliers
+    // are odd, so consecutive ephemeral ports step the hash by an odd
+    // constant and rotate through any power-of-two queue count without
+    // clumping — the property admins tune Toeplitz keys for, here by
+    // construction. Deterministic and trivially reproducible in tests.
+    std::uint32_t v = srcPort * 0x9e3779b1u + dstPort * 0x85ebca77u +
+                      srcIp * 0xc2b2ae3du + dstIp * 0x27d4eb2fu;
+    return v;
+}
+
+std::size_t
+NetStack::steerFrame(const NetBuf &frame)
+{
+    // Raw header peek — no checksum work: the real NIC's RSS engine
+    // hashes header fields straight off the wire before any protocol
+    // validation happens.
+    const std::uint8_t *p = frame.data();
+    std::size_t n = frame.size();
+    constexpr std::size_t need =
+        EthHeader::wireSize + Ip4Header::wireSize + 4;
+    if (n < need || getBe16(p + 12) != EthHeader::typeIp4)
+        return 0;
+    const std::uint8_t *ip = p + EthHeader::wireSize;
+    if ((ip[0] >> 4) != 4 || ip[9] != Ip4Header::protoTcp)
+        return 0;
+    std::uint32_t src = getBe32(ip + 12);
+    std::uint32_t dst = getBe32(ip + 16);
+    const std::uint8_t *tcp = ip + Ip4Header::wireSize;
+    return rssHash(src, getBe16(tcp), dst, getBe16(tcp + 2));
+}
+
+void
+NetStack::enableRss(std::size_t queues)
+{
+    rssQueues = queues ? queues : 1;
+    while (queueWaits.size() < rssQueues)
+        queueWaits.push_back(std::make_unique<WaitQueue>(sched));
+    nic.configureRss(rssQueues,
+                     [](const NetBuf &f) { return steerFrame(f); });
+}
+
+void
+NetStack::waitQueueActivity(std::size_t q)
+{
+    if (nic.pendingIn(q % nic.queueCount()) > 0)
+        return;
+    // Sleep at most until the next timer deadline (queue 0 owns the
+    // wheel) and never longer than a heartbeat, so stuck peers and
+    // shutdown flags are still observed in bounded virtual time.
+    std::uint64_t waitNs = 1'000'000; // 1 ms heartbeat
+    if (q == 0 && !timers.empty()) {
+        std::uint64_t now = mach.nanoseconds();
+        std::uint64_t due = timers.nextDeadlineNs();
+        waitNs = due > now ? std::min(waitNs, due - now) : 1;
+    }
+    sched.blockFor(*queueWaits[q % queueWaits.size()], waitNs);
+}
+
+void
+NetStack::wakePollers()
+{
+    for (auto &w : queueWaits)
+        w->wakeAll();
+}
+
+std::size_t
+NetStack::rssQueueOf(const TcpSocket &s) const
+{
+    if (rssQueues <= 1)
+        return 0;
+    // Inbound orientation: frames arriving for this socket carry the
+    // peer as source and us as destination.
+    return rssHash(s.remoteIp(), s.remotePort(), ipAddr,
+                   s.localPort()) %
+           rssQueues;
 }
 
 void

@@ -227,6 +227,48 @@ class NetStack
     bool pollOnce();
 
     /**
+     * Drain one RX queue (and, on queue 0, the timer wheel). The
+     * per-core pollers of an RSS-enabled stack each call this with
+     * their own queue so no two cores touch the same ring.
+     * @return work done
+     */
+    bool pollQueue(std::size_t q);
+
+    /**
+     * Configure RSS flow steering on the NIC: `queues` RX queues, one
+     * per serving core, with arriving TCP frames hashed over their
+     * 4-tuple so every connection's segments land on one queue (and
+     * therefore one core) deterministically.
+     */
+    void enableRss(std::size_t queues);
+
+    /** RX queues after enableRss (1 before). */
+    std::size_t rxQueueCount() const { return rssQueues; }
+
+    /** The RX queue this socket's inbound segments steer to. */
+    std::size_t rssQueueOf(const TcpSocket &s) const;
+
+    /** Toeplitz-style RSS hash of a flow 4-tuple (deterministic). */
+    static std::uint32_t rssHash(std::uint32_t srcIp,
+                                 std::uint16_t srcPort,
+                                 std::uint32_t dstIp,
+                                 std::uint16_t dstPort);
+
+    /** Hash an arriving frame's TCP 4-tuple (0 for non-TCP frames). */
+    static std::size_t steerFrame(const NetBuf &frame);
+
+    /**
+     * Block the calling poller until its RX queue sees a frame, the
+     * next timer deadline (queue 0 polls the timer wheel) or a
+     * heartbeat elapses — the NAPI idiom: poll while there is work,
+     * sleep on the interrupt line otherwise.
+     */
+    void waitQueueActivity(std::size_t q);
+
+    /** Wake every poller blocked in waitQueueActivity (shutdown). */
+    void wakePollers();
+
+    /**
      * Spawn the poller fiber. It loops pollOnce() + yield until stop().
      */
     void startPoller(const std::string &name = "netpoll");
@@ -301,6 +343,9 @@ class NetStack
     std::unordered_map<std::uint16_t, TcpSocket *> listeners;
     std::uint16_t nextEphemeral = 49152;
     std::uint32_t issCounter = 1000;
+    std::size_t rssQueues = 1;
+    /** One wait per RX queue; frames arriving wake the matching one. */
+    std::vector<std::unique_ptr<WaitQueue>> queueWaits;
     bool stopping = false;
 };
 

@@ -1,5 +1,6 @@
 #include "uksched/scheduler.hh"
 
+#include <algorithm>
 #include <exception>
 
 #include "base/logging.hh"
@@ -60,6 +61,7 @@ Thread::Thread(int id, std::string name, Entry entry,
 
 Scheduler::Scheduler(Machine &m) : mach(m)
 {
+    runQueues.resize(m.coreCount());
 }
 
 Scheduler::~Scheduler()
@@ -143,11 +145,24 @@ Thread *
 Scheduler::spawn(std::string name, Thread::Entry entry,
                  std::size_t stackBytes)
 {
+    int core = int(spawnRR++ % runQueues.size());
+    return spawnOn(core, std::move(name), std::move(entry), stackBytes,
+                   /*pinned=*/false);
+}
+
+Thread *
+Scheduler::spawnOn(int core, std::string name, Thread::Entry entry,
+                   std::size_t stackBytes, bool pinned)
+{
+    panic_if(core < 0 || unsigned(core) >= runQueues.size(), "core ",
+             core, " out of range (machine has ", runQueues.size(), ")");
     auto t = std::unique_ptr<Thread>(
         new Thread(nextId++, std::move(name), std::move(entry),
                    stackBytes));
     Thread *raw = t.get();
     threads.push_back(std::move(t));
+    raw->core = core;
+    raw->pinned = pinned;
 
     getcontext(&raw->ctx);
     raw->ctx.uc_stack.ss_sp = raw->stack.data();
@@ -160,8 +175,25 @@ Scheduler::spawn(std::string name, Thread::Entry entry,
     if (onThreadCreate)
         onThreadCreate(*raw);
 
-    runQueue.push_back(raw);
+    runQueues[core].push_back(raw);
     return raw;
+}
+
+void
+Scheduler::pin(Thread *t, int core)
+{
+    panic_if(core < 0 || unsigned(core) >= runQueues.size(), "core ",
+             core, " out of range (machine has ", runQueues.size(), ")");
+    if (t->core != core && t->state_ == Thread::State::Ready) {
+        auto &q = runQueues[t->core];
+        auto it = std::find(q.begin(), q.end(), t);
+        if (it != q.end()) {
+            q.erase(it);
+            runQueues[core].push_back(t);
+        }
+    }
+    t->core = core;
+    t->pinned = true;
 }
 
 void
@@ -207,6 +239,10 @@ Scheduler::threadMain()
 void
 Scheduler::switchTo(Thread *t)
 {
+    // Bank the outgoing core's register window and make the thread's
+    // home core the machine's active context (no-op on 1 core).
+    mach.setActiveCore(t->core);
+
     Thread *prev = running;
     running = t;
     t->state_ = Thread::State::Running;
@@ -275,43 +311,174 @@ Scheduler::switchOut()
 }
 
 bool
+Scheduler::anyQueued() const
+{
+    for (const auto &q : runQueues) {
+        if (!q.empty())
+            return true;
+    }
+    return false;
+}
+
+void
+Scheduler::pruneStale()
+{
+    // Queue entries can outlive their thread's readiness (cancel()
+    // finishes a queued thread in place); drop them before the idle
+    // checks below so a queue of corpses doesn't look like work.
+    for (auto &q : runQueues) {
+        q.erase(std::remove_if(q.begin(), q.end(),
+                               [](Thread *t) {
+                                   return t->state() !=
+                                          Thread::State::Ready;
+                               }),
+                q.end());
+    }
+}
+
+bool
 Scheduler::serviceSleepers(bool mayAdvanceClock)
 {
     bool woke = false;
     while (!sleepers.empty()) {
-        Thread *t = sleepers.top();
-        if (t->wakeAtCycles <= mach.cycles()) {
+        SleeperEntry e = sleepers.top();
+        // An entry is live while its generation matches the thread's
+        // current arming and the thread is still in the armed state:
+        // Sleeping for sleepNs(), Blocked for blockFor(). Anything
+        // else (woken early, cancelled, re-armed) is a stale copy.
+        bool live = e.gen == e.t->sleepGen &&
+                    (e.t->state_ == Thread::State::Sleeping ||
+                     (e.t->state_ == Thread::State::Blocked &&
+                      e.t->timedWaitQueue));
+        if (!live) {
             sleepers.pop();
-            if (t->state_ == Thread::State::Sleeping) {
-                t->state_ = Thread::State::Ready;
-                runQueue.push_back(t);
-            }
-            woke = true;
             continue;
         }
-        if (mayAdvanceClock && runQueue.empty()) {
-            // Event-driven idle: jump the clock to the next wakeup.
-            mach.consume(t->wakeAtCycles - mach.cycles());
+        bool due = e.at <= mach.wallCycles();
+        if (!due && mayAdvanceClock && !anyQueued()) {
+            // Event-driven idle: everything is waiting, so the next
+            // wakeup defines the passage of time. The woken thread
+            // carries its deadline in readyAtCycles; dispatch jumps
+            // its core's clock forward to it.
+            due = true;
             mach.bump("sched.idleJumps");
-            continue;
         }
-        break;
+        if (!due)
+            break;
+        sleepers.pop();
+        Thread *t = e.t;
+        if (t->state_ == Thread::State::Sleeping) {
+            t->state_ = Thread::State::Ready;
+            t->readyAtCycles = e.at;
+            runQueues[t->core].push_back(t);
+            woke = true;
+        } else if (t->state_ == Thread::State::Blocked &&
+                   t->timedWaitQueue) {
+            // blockFor() timeout: leave the wait queue empty-handed.
+            auto &ws = t->timedWaitQueue->waiters;
+            auto it = std::find(ws.begin(), ws.end(), t);
+            if (it != ws.end())
+                ws.erase(it);
+            t->timedOut = true;
+            t->state_ = Thread::State::Ready;
+            t->readyAtCycles = e.at;
+            runQueues[t->core].push_back(t);
+            woke = true;
+        }
     }
     return woke;
+}
+
+void
+Scheduler::stealWork()
+{
+    unsigned n = unsigned(runQueues.size());
+    if (n < 2)
+        return;
+    for (unsigned thief = 0; thief < n; ++thief) {
+        if (!runQueues[thief].empty())
+            continue;
+        // Steal from the most loaded queue that can spare a thread.
+        unsigned victim = n;
+        std::size_t most = 1;
+        for (unsigned v = 0; v < n; ++v) {
+            if (runQueues[v].size() > most) {
+                victim = v;
+                most = runQueues[v].size();
+            }
+        }
+        if (victim == n)
+            continue;
+        auto &vq = runQueues[victim];
+        // Newest-first: the oldest entries are about to run hot on the
+        // victim; the tail has waited least and migrates cheapest.
+        for (auto it = vq.rbegin(); it != vq.rend(); ++it) {
+            Thread *t = *it;
+            if (t->pinned || t->state_ != Thread::State::Ready)
+                continue;
+            vq.erase(std::next(it).base());
+            t->core = int(thief);
+            // The thread was living on the victim's timeline; it
+            // cannot start on the thief before the moment it left.
+            t->readyAtCycles = std::max(
+                t->readyAtCycles, mach.coreCycles(int(victim)));
+            mach.chargeCore(int(thief), mach.timing.stealMigration);
+            mach.bump("sched.steals");
+            runQueues[thief].push_back(t);
+            break;
+        }
+    }
+}
+
+bool
+Scheduler::dispatchOne()
+{
+    unsigned n = unsigned(runQueues.size());
+
+    // Pass 1: round-robin across cores, dispatching the first thread
+    // already due on its own core's clock.
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned c = (nextDispatchCore + i) % n;
+        for (Thread *t : runQueues[c]) {
+            if (t->readyAtCycles > mach.coreCycles(int(c)))
+                continue;
+            auto &q = runQueues[c];
+            q.erase(std::find(q.begin(), q.end(), t));
+            nextDispatchCore = (c + 1) % n;
+            switchTo(t);
+            return true;
+        }
+    }
+
+    // Pass 2: only future-ready work remains (cross-core wakes or
+    // idle-jump sleepers). The earliest event wins; its core idles
+    // forward to the event time.
+    Thread *next = nullptr;
+    for (unsigned c = 0; c < n; ++c) {
+        for (Thread *t : runQueues[c]) {
+            if (!next || t->readyAtCycles < next->readyAtCycles)
+                next = t;
+        }
+    }
+    if (!next)
+        return false;
+    auto &q = runQueues[next->core];
+    q.erase(std::find(q.begin(), q.end(), next));
+    mach.advanceCoreTo(next->core, next->readyAtCycles);
+    nextDispatchCore = (unsigned(next->core) + 1) % n;
+    switchTo(next);
+    return true;
 }
 
 bool
 Scheduler::run()
 {
     while (true) {
+        pruneStale();
         serviceSleepers(true);
-        if (runQueue.empty())
+        stealWork();
+        if (!dispatchOne())
             break;
-        Thread *t = runQueue.front();
-        runQueue.pop_front();
-        if (t->state_ != Thread::State::Ready)
-            continue;
-        switchTo(t);
     }
 
     for (const auto &t : threads) {
@@ -329,14 +496,11 @@ Scheduler::runUntil(const std::function<bool()> &pred,
     while (!pred()) {
         if (budget-- == 0)
             return false;
+        pruneStale();
         serviceSleepers(true);
-        if (runQueue.empty())
+        stealWork();
+        if (!dispatchOne())
             return false;
-        Thread *t = runQueue.front();
-        runQueue.pop_front();
-        if (t->state_ != Thread::State::Ready)
-            continue;
-        switchTo(t);
     }
     return true;
 }
@@ -347,7 +511,7 @@ Scheduler::yield()
     Thread *self = running;
     panic_if(!self, "yield outside a thread");
     self->state_ = Thread::State::Ready;
-    runQueue.push_back(self);
+    runQueues[self->core].push_back(self);
     switchOut();
 }
 
@@ -371,8 +535,28 @@ Scheduler::sleepNs(std::uint64_t ns)
         mach.cycles() +
         static_cast<std::uint64_t>(static_cast<double>(ns) *
                                    mach.timing.cpuGhz);
-    sleepers.push(self);
+    sleepers.push({self->wakeAtCycles, ++self->sleepGen, self});
     switchOut();
+}
+
+bool
+Scheduler::blockFor(WaitQueue &q, std::uint64_t ns)
+{
+    Thread *self = running;
+    panic_if(!self, "blockFor outside a thread");
+    self->state_ = Thread::State::Blocked;
+    q.waiters.push_back(self);
+    self->wakeAtCycles =
+        mach.cycles() +
+        static_cast<std::uint64_t>(static_cast<double>(ns) *
+                                   mach.timing.cpuGhz);
+    self->timedWaitQueue = &q;
+    self->timedOut = false;
+    sleepers.push({self->wakeAtCycles, ++self->sleepGen, self});
+    switchOut();
+    self->timedWaitQueue = nullptr;
+    ++self->sleepGen; // retire the timeout entry if woken normally
+    return !self->timedOut;
 }
 
 void
@@ -393,8 +577,21 @@ Scheduler::wake(Thread *t)
 {
     if (t->state_ != Thread::State::Blocked)
         return;
+    // Cross-core wakeup: the waker pays an IPI, and the wakee cannot
+    // observe the event before the waker's clock reads now — stamp
+    // readyAtCycles so the target core idles forward if it is behind.
+    // Free-running threads live outside the timing model: they neither
+    // pay nor transfer clock causality in either direction.
+    bool timedWaker = running && !running->freeRunning;
+    if (timedWaker && !t->freeRunning && running->core != t->core) {
+        mach.consume(mach.timing.ipi);
+        mach.bump("sched.ipis");
+    }
     t->state_ = Thread::State::Ready;
-    runQueue.push_back(t);
+    t->readyAtCycles = (timedWaker && !t->freeRunning)
+                           ? mach.cycles()
+                           : mach.coreCycles(t->core);
+    runQueues[t->core].push_back(t);
 }
 
 bool

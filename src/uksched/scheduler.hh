@@ -91,6 +91,16 @@ class Thread
      */
     bool freeRunning = false;
 
+    /** Core the thread runs on (its run-queue home). */
+    int core = 0;
+
+    /**
+     * Pinned threads never migrate: work stealing skips them and
+     * Scheduler::pin() is the only way to move them. Used for per-core
+     * NIC pollers and EPT servers whose state is core-sharded.
+     */
+    bool pinned = false;
+
   private:
     friend class Scheduler;
 
@@ -104,13 +114,30 @@ class Thread
     ucontext_t ctx;
     std::vector<char> stack;
     std::uint64_t wakeAtCycles = 0;
+    /**
+     * Earliest cycle (on the thread's own core) it may run: stamped
+     * with the waker's clock so cross-core wakeups stay causal, and
+     * with the wake deadline for sleepers woken by an idle jump.
+     */
+    std::uint64_t readyAtCycles = 0;
+    /** Generation counter invalidating stale sleeper-heap entries. */
+    std::uint64_t sleepGen = 0;
+    /** Wait queue a blockFor() caller sits in (null otherwise). */
+    WaitQueue *timedWaitQueue = nullptr;
+    /** Whether the last blockFor() ended by timeout. */
+    bool timedOut = false;
     std::vector<Thread *> joiners;
     void *asanFakeStack = nullptr; ///< ASan fiber-switch save slot
     bool started_ = false;         ///< has ever run on its own stack
 };
 
 /**
- * Cooperative round-robin scheduler over a Machine's virtual clock.
+ * Cooperative scheduler over a Machine's virtual clocks: one run queue
+ * per simulated core, round-robin across cores and FIFO within one,
+ * with work stealing for unpinned threads. Cross-core wakeups charge an
+ * IPI and stamp the wakee with the waker's clock so causality holds
+ * across per-core timelines. On a 1-core machine this degenerates to
+ * exactly the original single-queue round-robin.
  */
 class Scheduler
 {
@@ -143,9 +170,30 @@ class Scheduler
     void removeThreadExitListener(int id);
     /** @} */
 
-    /** Create a thread; it becomes runnable immediately. */
+    /**
+     * Create a thread; it becomes runnable immediately. Unpinned
+     * threads are placed round-robin across the machine's cores (on a
+     * 1-core machine that is always core 0) and may later be migrated
+     * by work stealing.
+     */
     Thread *spawn(std::string name, Thread::Entry entry,
                   std::size_t stackBytes = 256 * 1024);
+
+    /**
+     * Create a thread on a specific core. Pinned (the default) means
+     * work stealing will never migrate it — per-core pollers and
+     * core-sharded backend servers rely on this.
+     */
+    Thread *spawnOn(int core, std::string name, Thread::Entry entry,
+                    std::size_t stackBytes = 256 * 1024,
+                    bool pinned = true);
+
+    /**
+     * Pin a thread to a core, migrating its run-queue entry if it is
+     * currently ready. Used by flow-steering drivers to home a
+     * connection's worker on the core its RSS queue is polled from.
+     */
+    void pin(Thread *t, int core);
 
     /**
      * Run until no thread is Ready or Sleeping.
@@ -166,6 +214,12 @@ class Scheduler
     void yield();
     /** Block the calling thread on a wait queue. */
     void block(WaitQueue &q);
+    /**
+     * Block on a wait queue with a timeout of ns virtual nanoseconds.
+     * @return true if woken through the queue, false on timeout (the
+     *         thread has been removed from the queue).
+     */
+    bool blockFor(WaitQueue &q, std::uint64_t ns);
     /** Sleep the calling thread for ns virtual nanoseconds. */
     void sleepNs(std::uint64_t ns);
     /** Wait for another thread to finish. */
@@ -215,28 +269,61 @@ class Scheduler
     void threadMain();
     static void trampoline();
 
-    /** Move due sleepers to the run queue; advance the clock if idle. */
+    /** Move due sleepers to their run queues; force-wake if all idle. */
     bool serviceSleepers(bool mayAdvanceClock);
+
+    /** Drop run-queue entries whose thread is no longer Ready. */
+    void pruneStale();
+
+    /** Migrate ready unpinned threads from loaded cores to idle ones. */
+    void stealWork();
+
+    /**
+     * Dispatch one thread: round-robin over cores, preferring work
+     * that is already due on its core's clock; otherwise idle-jump the
+     * core owning the earliest future-ready thread.
+     * @return false if no Ready thread is queued anywhere.
+     */
+    bool dispatchOne();
+
+    /** Whether any core's run queue is non-empty. */
+    bool anyQueued() const;
 
     void notifyThreadExit(Thread &t);
 
     Machine &mach;
     std::vector<std::unique_ptr<Thread>> threads;
-    std::deque<Thread *> runQueue;
+    /** One run queue per machine core. */
+    std::vector<std::deque<Thread *>> runQueues;
     std::vector<std::pair<int, std::function<void(Thread &)>>>
         exitListeners;
     int nextListenerId = 1;
 
+    /**
+     * Sleeper-heap entry: a copy of the deadline plus the arming
+     * generation, so entries orphaned by an early wake (or re-armed
+     * sleeps) are recognised as stale and dropped.
+     */
+    struct SleeperEntry
+    {
+        std::uint64_t at;
+        std::uint64_t gen;
+        Thread *t;
+    };
     struct SleeperOrder
     {
         bool
-        operator()(const Thread *a, const Thread *b) const
+        operator()(const SleeperEntry &a, const SleeperEntry &b) const
         {
-            return a->wakeAtCycles > b->wakeAtCycles;
+            return a.at > b.at;
         }
     };
-    std::priority_queue<Thread *, std::vector<Thread *>, SleeperOrder>
+    std::priority_queue<SleeperEntry, std::vector<SleeperEntry>,
+                        SleeperOrder>
         sleepers;
+
+    unsigned spawnRR = 0;         ///< round-robin core for spawn()
+    unsigned nextDispatchCore = 0; ///< round-robin dispatch cursor
 
     Thread *running = nullptr;
     ucontext_t schedCtx;
