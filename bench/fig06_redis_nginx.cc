@@ -12,6 +12,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "explore/wayfinder.hh"
@@ -76,12 +78,149 @@ runPanel(const char *app, const char *appLib,
                 100.0 * (1 - schedSplit / base));
 }
 
+/** One multi-core / batching sample of the cores sweep. */
+struct Sample
+{
+    const char *app;
+    std::string partition;
+    unsigned cores;
+    int batch;
+    double reqPerSec;
+};
+
+/**
+ * The `cores:` dimension (RSS steers each connection to one core's RX
+ * queue, so throughput is expected to scale while gate overhead does
+ * not amortize away), plus batched-vs-unbatched points on the
+ * lwip-split partition — the boundary the vectored RX path amortizes.
+ */
+std::vector<Sample>
+coresSweep()
+{
+    static const struct
+    {
+        const char *name;
+        std::vector<int> part;
+    } picks[] = {
+        {"A app+newlib+sched+lwip", {0, 0, 0, 0}},
+        {"C lwip split", {0, 0, 0, 1}},
+        {"E three-way split", {0, 0, 1, 2}},
+    };
+
+    std::vector<Sample> out;
+    for (const auto &pick : picks) {
+        for (unsigned cores : {1u, 2u, 4u}) {
+            ConfigPoint p;
+            p.partition = pick.part;
+            p.hardening.assign(4, 0);
+            p.mechanismRank = 1; // MPK
+            p.sharingRank = 1;   // DSS
+            p.cores = static_cast<int>(cores);
+            out.push_back({"redis", pick.name, cores, 1,
+                           wayfinder::measureRedis(p, 300)});
+            out.push_back({"nginx", pick.name, cores, 1,
+                           wayfinder::measureNginx(p, 200)});
+        }
+    }
+    // Batched vs unbatched across the lwip boundary: the poller
+    // fetches a burst and crosses once per burst when batch > 1.
+    for (int batch : {1, 8}) {
+        for (unsigned cores : {1u, 4u}) {
+            ConfigPoint p;
+            p.partition = {0, 0, 0, 1};
+            p.hardening.assign(4, 0);
+            p.mechanismRank = 1; // MPK
+            p.sharingRank = 1;   // DSS
+            p.cores = static_cast<int>(cores);
+            p.gateBatch = batch;
+            out.push_back({"redis", "C lwip split", cores, batch,
+                           wayfinder::measureRedis(p, 300)});
+        }
+    }
+    return out;
+}
+
+void
+coresTable(const std::vector<Sample> &samples)
+{
+    std::printf("\n=== Multi-core sweep: req/s vs cores (RSS), plus "
+                "batch: 8 on the lwip boundary ===\n");
+    std::printf("%-7s %-26s %-7s %-7s %12s\n", "app", "partition",
+                "cores", "batch", "req/s");
+    for (const Sample &s : samples)
+        std::printf("%-7s %-26s %-7u %-7d %11.1fk\n", s.app,
+                    s.partition.c_str(), s.cores, s.batch,
+                    s.reqPerSec / 1000.0);
+}
+
+/**
+ * The cores x batching matrix as a JSON snapshot (BENCH_fig06.json):
+ * the regression-tracked artefact for the multi-core app benchmarks.
+ */
+void
+emitJson(const char *path, const std::vector<Sample> &samples)
+{
+    FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "fig06_redis_nginx: cannot write %s\n",
+                     path);
+        std::exit(2);
+    }
+    std::fprintf(f, "{\n"
+                    "  \"bench\": \"fig06_redis_nginx_cores\",\n"
+                    "  \"config\": \"mpk-dss, no hardening\",\n"
+                    "  \"results\": [\n");
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        std::fprintf(f,
+                     "    {\"app\": \"%s\", \"partition\": \"%s\", "
+                     "\"cores\": %u, \"batch\": %d, "
+                     "\"req_per_sec\": %.1f}%s\n",
+                     s.app, s.partition.c_str(), s.cores, s.batch,
+                     s.reqPerSec, i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    runPanel("Redis GET", "libredis", &wayfinder::measureRedis, 400);
-    runPanel("Nginx HTTP", "libnginx", &wayfinder::measureNginx, 250);
+    // `--cores` runs only the multi-core/batching sweep; `--json
+    // [path]` writes it to a snapshot file (default BENCH_fig06.json)
+    // instead of printing the table.
+    bool coresOnly = false;
+    bool jsonMode = false;
+    const char *jsonPath = "BENCH_fig06.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--cores") == 0) {
+            coresOnly = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            coresOnly = true;
+            jsonMode = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                jsonPath = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "fig06_redis_nginx: invalid argument '%s' "
+                         "(usage: [--cores] [--json [path]])\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+
+    if (!coresOnly) {
+        runPanel("Redis GET", "libredis", &wayfinder::measureRedis, 400);
+        runPanel("Nginx HTTP", "libnginx", &wayfinder::measureNginx,
+                 250);
+    }
+    std::vector<Sample> samples = coresSweep();
+    if (jsonMode)
+        emitJson(jsonPath, samples);
+    else
+        coresTable(samples);
     return 0;
 }

@@ -11,6 +11,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <vector>
+
 #include "apps/deploy.hh"
 
 using namespace flexos;
@@ -18,7 +21,8 @@ using namespace flexos;
 namespace {
 
 std::string
-twoComp(const char *mech, const char *gateFlavor = nullptr)
+twoComp(const char *mech, const char *gateFlavor = nullptr,
+        const char *extraRule = nullptr)
 {
     std::string text = std::string(R"(
 compartments:
@@ -31,9 +35,13 @@ libraries:
 - libredis: c1
 - lwip: c2
 )";
+    if (gateFlavor || extraRule)
+        text += "boundaries:\n";
     if (gateFlavor)
-        text += std::string("boundaries:\n- '*' -> '*': {gate: ") +
-                gateFlavor + "}\n";
+        text += std::string("- '*' -> '*': {gate: ") + gateFlavor +
+                "}\n";
+    if (extraRule)
+        text += std::string("- ") + extraRule + "\n";
     return text;
 }
 
@@ -79,6 +87,50 @@ gateBench(benchmark::State &state, const std::string &cfg,
     state.counters["vcycles"] = perOp;
 }
 
+/**
+ * Average virtual cycles per LOGICAL call when calls ride vectored
+ * crossings of the given width — the amortization the `batch:` knob
+ * buys: one backend transition (one EPT doorbell) per chunk plus a
+ * per-slot dispatch cost, instead of a full round trip per call.
+ * width 1 is the identity case and must match gateCost() exactly.
+ */
+double
+batchedGateCost(const std::string &cfgText, std::size_t width)
+{
+    DeployOptions opts;
+    opts.withNet = false;
+    opts.withFs = false;
+    Deployment dep(cfgText, opts);
+
+    constexpr std::uint64_t iters = 2000;
+    static_assert(iters % 8 == 0 && iters % 4 == 0,
+                  "iters must divide evenly into batch widths");
+    std::vector<std::function<void()>> bodies(width, [] {});
+
+    Cycles measured = 0;
+    bool done = false;
+    dep.image().spawnIn("libredis", "gate-bench", [&] {
+        Machine &m = dep.machine();
+        Cycles before = m.cycles();
+        for (std::uint64_t i = 0; i < iters; i += width)
+            dep.image().gateBatch("lwip", "recv", bodies);
+        measured = m.cycles() - before;
+        done = true;
+    });
+    dep.scheduler().runUntil([&] { return done; });
+    return static_cast<double>(measured) / static_cast<double>(iters);
+}
+
+void
+batchedGateBench(benchmark::State &state, const std::string &cfg,
+                 std::size_t width)
+{
+    double perOp = batchedGateCost(cfg, width);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(perOp);
+    state.counters["vcycles"] = perOp;
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(gateBench, function_call, twoComp("intel-mpk"), true,
@@ -97,5 +149,43 @@ BENCHMARK_CAPTURE(gateBench, cubicle_pkey_mprotect,
                   twoComp("cubicle-mpk"), false, false);
 BENCHMARK_CAPTURE(gateBench, cheri_sketch, twoComp("cheri"), false,
                   false);
+
+// --- Vectored crossings: the `batch:` / `coalesce:` / `elide:` knobs.
+// batch: 1 is regression-pinned to the sequential gate (vcycle-
+// identical by construction); batch: 8 amortizes the transition —
+// one EPT doorbell per eight calls — and the EPT step-change is the
+// headline number. The elide rows show repeated same-boundary
+// crossings shedding the entry-validate / return-scrub charges.
+BENCHMARK_CAPTURE(batchedGateBench, ept_batch1,
+                  twoComp("vm-ept", nullptr, "'*' -> '*': {batch: 1}"),
+                  1);
+BENCHMARK_CAPTURE(batchedGateBench, ept_batch4,
+                  twoComp("vm-ept", nullptr, "'*' -> '*': {batch: 4}"),
+                  4);
+BENCHMARK_CAPTURE(batchedGateBench, ept_batch8,
+                  twoComp("vm-ept", nullptr, "'*' -> '*': {batch: 8}"),
+                  8);
+BENCHMARK_CAPTURE(batchedGateBench, ept_batch8_coalesce,
+                  twoComp("vm-ept", nullptr,
+                          "'*' -> '*': {batch: 8, coalesce: 2000}"),
+                  8);
+BENCHMARK_CAPTURE(batchedGateBench, mpk_dss_batch8,
+                  twoComp("intel-mpk", "dss", "'*' -> '*': {batch: 8}"),
+                  8);
+BENCHMARK_CAPTURE(batchedGateBench, cheri_batch8,
+                  twoComp("cheri", nullptr, "'*' -> '*': {batch: 8}"),
+                  8);
+BENCHMARK_CAPTURE(gateBench, mpk_dss_validate,
+                  twoComp("intel-mpk", "dss",
+                          "'*' -> '*': {validate: true}"),
+                  false, false);
+BENCHMARK_CAPTURE(gateBench, mpk_dss_elide_both,
+                  twoComp("intel-mpk", "dss",
+                          "'*' -> '*': {validate: true, elide: both}"),
+                  false, false);
+BENCHMARK_CAPTURE(gateBench, ept_elide_scrub,
+                  twoComp("vm-ept", nullptr,
+                          "'*' -> '*': {elide: scrub}"),
+                  false, false);
 
 BENCHMARK_MAIN();

@@ -111,20 +111,72 @@ Deployment::start()
     for (const auto &[lib, comp] : img->config().libraries)
         if (lib == "lwip")
             lwipInImage = true;
+
+    // Vectored RX: when the boundary from the default compartment into
+    // lwip carries a `batch:` width, the pollers instead run on the
+    // driver side of the gate — fetch a burst of frames off the ring,
+    // then push the whole burst through ONE crossing into lwip
+    // (entry point rx_burst), one body per frame. Frames cross in
+    // ring order and RSS pins each flow to one queue, so per-flow
+    // TCP ordering is unchanged; an empty burst still parks the
+    // poller on the queue's interrupt line (the NAPI idiom).
+    std::uint64_t rxBatch = 1;
+    if (lwipInImage) {
+        int from = static_cast<int>(img->config().defaultCompartment());
+        int to = img->compartmentIndexOf("lwip");
+        if (from != to)
+            rxBatch = std::max<std::uint64_t>(
+                img->policyFor(from, to).batch, 1);
+    }
+
     std::size_t queues = serverNet->rxQueueCount();
     for (std::size_t q = 0; q < queues; ++q) {
-        auto pollBody = [this, q] {
-            while (!stopPollers) {
-                if (serverNet->pollQueue(q))
-                    sched->yield();
-                else
-                    serverNet->waitQueueActivity(q);
-            }
-        };
+        std::function<void()> pollBody;
+        if (rxBatch > 1) {
+            pollBody = [this, q, rxBatch] {
+                std::vector<std::function<void()>> bodies;
+                std::vector<NetBuf> burst;
+                while (!stopPollers) {
+                    burst = serverNet->fetchBurst(
+                        q, static_cast<std::size_t>(rxBatch));
+                    bool worked = !burst.empty();
+                    if (!burst.empty()) {
+                        bodies.clear();
+                        for (auto &f : burst)
+                            bodies.push_back([this, &f] {
+                                serverNet->handleRxFrame(std::move(f));
+                            });
+                        img->gateBatch("lwip", "rx_burst", bodies);
+                    }
+                    // The timer wheel stays with queue 0's poller;
+                    // the due-ness peek is driver-side so idle loops
+                    // never pay a crossing just to find nothing due.
+                    if (q == 0 && serverNet->timersDue()) {
+                        img->gate("lwip", "timer_poll", [this] {
+                            serverNet->pollTimers();
+                        });
+                        worked = true;
+                    }
+                    if (worked)
+                        sched->yield();
+                    else
+                        serverNet->waitQueueActivity(q);
+                }
+            };
+        } else {
+            pollBody = [this, q] {
+                while (!stopPollers) {
+                    if (serverNet->pollQueue(q))
+                        sched->yield();
+                    else
+                        serverNet->waitQueueActivity(q);
+                }
+            };
+        }
         std::string name = queues > 1
                                ? "lwip-poll-q" + std::to_string(q)
                                : "lwip-poll";
-        Thread *t = lwipInImage
+        Thread *t = lwipInImage && rxBatch == 1
                         ? img->spawnIn("lwip", name, pollBody)
                         : sched->spawn(name, pollBody);
         sched->pin(t, static_cast<int>(q % mach->coreCount()));

@@ -183,7 +183,9 @@ runHttpBenchmark(Image &img, LibcApi &serverLibc, NetStack &clientStack,
         std::string request = "GET " + path + " HTTP/1.1\r\n"
                               "Host: bench\r\n"
                               "Connection: keep-alive\r\n\r\n";
-        startCycles = mach.cycles();
+        // Wall clock, not this core's clock: on SMP the reply
+        // loop and the servers run on different cores (see iperf.cc).
+        startCycles = mach.wallCycles();
         std::uint64_t sent = 0;
         std::string reply;
         char buf[8192];
@@ -229,7 +231,7 @@ runHttpBenchmark(Image &img, LibcApi &serverLibc, NetStack &clientStack,
 
     HttpBenchmarkResult res;
     res.requests = gotReplies;
-    res.seconds = static_cast<double>(mach.cycles() - startCycles) /
+    res.seconds = static_cast<double>(mach.wallCycles() - startCycles) /
                   (mach.timing.cpuGhz * 1e9);
     res.requestsPerSec =
         res.seconds > 0 ? static_cast<double>(res.requests) / res.seconds

@@ -438,7 +438,9 @@ runRedisGetBenchmark(Image &img, LibcApi &serverLibc,
         }
         s->close();
 
-        startCycles = mach.cycles();
+        // Wall clock, not this core's clock: the workers spread
+        // across cores and each advances its own (see iperf.cc).
+        startCycles = mach.wallCycles();
         preloaded = true;
         std::uint32_t ip = serverLibc.netstack()->ip();
         for (unsigned c = 0; c < connections; ++c) {
@@ -467,7 +469,7 @@ runRedisGetBenchmark(Image &img, LibcApi &serverLibc,
     };
     bool ok = sched.runUntil(allDone, 200'000'000);
     panic_if(!ok, "redis benchmark did not complete");
-    Cycles endCycles = mach.cycles(); // before teardown work
+    Cycles endCycles = mach.wallCycles(); // before teardown work
     server.stop();
     // Drain: every client closed its connection, so a few more rounds
     // let the per-connection server fibers observe EOF and unwind

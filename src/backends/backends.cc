@@ -222,6 +222,47 @@ class MpkBackend : public IsolationBackend
         DomainTransition dt(img, to, workMult);
         body();
     }
+
+    void
+    crossCallBatch(Image &img, int from, int to,
+                   const GatePolicy &policy, const std::string &,
+                   const char *, double workMult,
+                   const std::function<void()> *bodies,
+                   std::size_t count) override
+    {
+        // One entry/return leg for the whole vector: the PKRU switch,
+        // register save/zero and stack switch are paid once, each
+        // extra call only its slot-dispatch cost. The bodies run
+        // back-to-back inside the callee domain.
+        auto &m = img.machine();
+        Cycles returnCost = 0;
+        if (policy.flavor == MpkGateFlavor::Light) {
+            m.consume(m.timing.mpkLightGate - m.timing.mpkLightReturn);
+            returnCost = m.timing.mpkLightReturn;
+            m.bump("gate.mpk.light");
+        } else {
+            m.consume(m.timing.mpkDssGate - m.timing.mpkDssReturn);
+            returnCost = m.timing.mpkDssReturn;
+            if (!policy.scrubReturn) {
+                returnCost -=
+                    std::min(returnCost, m.timing.registerSaveZero);
+                m.bump("gate.mpk.dss.noscrub");
+            }
+            m.bump("gate.mpk.dss");
+        }
+        if (count > 1)
+            m.consume(static_cast<Cycles>(count - 1) *
+                      m.timing.batchSlot);
+        Thread *t = img.scheduler().current();
+        if (t)
+            img.simStackFor(t->id(), to, policy.stackSharing);
+        for (std::size_t i = 0; i < count; ++i)
+            img.noteCrossing(from, to);
+        ReturnCharge rc(m, returnCost);
+        DomainTransition dt(img, to, workMult);
+        for (std::size_t i = 0; i < count; ++i)
+            bodies[i]();
+    }
 };
 
 /** EPT backend: one VM per compartment, RPC gates (paper 4.2). */
@@ -343,37 +384,35 @@ class EptBackend : public IsolationBackend
               const std::string &calleeLib, const char *fnName,
               double workMult, const std::function<void()> &body) override
     {
+        submit(img, from, to, policy, calleeLib, fnName, workMult,
+               &body, 1);
+    }
+
+    void
+    crossCallBatch(Image &img, int from, int to,
+                   const GatePolicy &policy,
+                   const std::string &calleeLib, const char *fnName,
+                   double workMult, const std::function<void()> *bodies,
+                   std::size_t count) override
+    {
+        // One ring slot and one doorbell carry the whole vector; the
+        // caller blocks once for all the calls and the server walks
+        // the slot's body list in order.
+        submit(img, from, to, policy, calleeLib, fnName, workMult,
+               bodies, count);
+    }
+
+  private:
+    void
+    submit(Image &img, int from, int to, const GatePolicy &policy,
+           const std::string &calleeLib, const char *fnName,
+           double workMult, const std::function<void()> *bodies,
+           std::size_t count)
+    {
         auto &m = img.machine();
         Scheduler &sched = img.scheduler();
         Thread *caller = sched.current();
         panic_if(!caller, "EPT RPC gate requires a thread context");
-
-        // Caller side: place the "function pointer" and arguments in
-        // the predefined shared area (paper 4.2) and wait. The entry
-        // leg is the request marshalling + doorbell; the response
-        // unmarshalling is charged when the RPC completes (also when
-        // it completes by raising — the error unwinds back through
-        // the same shared area). A policy waiving the return-side
-        // scrub skips the register save/zero the caller would
-        // otherwise redo when the RPC completes.
-        m.consume(m.timing.eptGate - m.timing.eptReturn);
-        Cycles returnCost = m.timing.eptReturn;
-        if (!policy.scrubReturn) {
-            returnCost -= std::min(returnCost, m.timing.registerSaveZero);
-            m.bump("gate.ept.noscrub");
-        }
-        m.bump("gate.ept");
-        img.noteCrossing(from, to);
-        ReturnCharge rc(m, returnCost);
-
-        Rpc rpc;
-        rpc.body = &body;
-        rpc.calleeLib = &calleeLib;
-        rpc.fnName = fnName;
-        rpc.workMult = workMult;
-        rpc.stackSharing = policy.stackSharing;
-        WaitQueue doneWait(sched);
-        rpc.doneWait = &doneWait;
 
         auto &vm = vms[static_cast<std::size_t>(to)];
         panic_if(vm.shards.empty(),
@@ -384,6 +423,55 @@ class EptBackend : public IsolationBackend
         auto &sh =
             vm.shards[static_cast<std::size_t>(m.activeCore()) %
                       vm.shards.size()];
+
+        // Doorbell coalescing under back-pressure (`coalesce:` key):
+        // a submission that finds requests already queued within the
+        // window of the last doorbell skips the ring notify — the
+        // earlier doorbell's server is still draining this ring and
+        // will reach the new slot (entries are only queued behind a
+        // rung doorbell, so the chain never strands a request).
+        bool coalesced = policy.coalesce && !sh.ring.empty() &&
+                         m.cycles() - sh.lastDoorbell <= policy.coalesce;
+
+        // Caller side: place the "function pointer" and arguments in
+        // the predefined shared area (paper 4.2) and wait. The entry
+        // leg is the request marshalling + doorbell; the response
+        // unmarshalling is charged when the RPC completes (also when
+        // it completes by raising — the error unwinds back through
+        // the same shared area). A policy waiving the return-side
+        // scrub skips the register save/zero the caller would
+        // otherwise redo when the RPC completes. A batched submission
+        // marshals each extra call into the next slot of the same
+        // request for a per-slot cost.
+        Cycles entryCost = m.timing.eptGate - m.timing.eptReturn;
+        if (count > 1)
+            entryCost += static_cast<Cycles>(count - 1) *
+                         m.timing.batchSlot;
+        if (coalesced) {
+            entryCost -= std::min(entryCost, m.timing.eptDoorbell);
+            m.bump("gate.coalesced");
+        }
+        m.consume(entryCost);
+        Cycles returnCost = m.timing.eptReturn;
+        if (!policy.scrubReturn) {
+            returnCost -= std::min(returnCost, m.timing.registerSaveZero);
+            m.bump("gate.ept.noscrub");
+        }
+        m.bump("gate.ept");
+        for (std::size_t i = 0; i < count; ++i)
+            img.noteCrossing(from, to);
+        ReturnCharge rc(m, returnCost);
+
+        Rpc rpc;
+        rpc.bodies = bodies;
+        rpc.count = count;
+        rpc.calleeLib = &calleeLib;
+        rpc.fnName = fnName;
+        rpc.workMult = workMult;
+        rpc.stackSharing = policy.stackSharing;
+        WaitQueue doneWait(sched);
+        rpc.doneWait = &doneWait;
+
         sh.ring.push_back(&rpc);
         // Ring-depth high-water mark: the deepest any shard's request
         // ring ever got (pool pressure; ROADMAP "EPT server pool
@@ -408,7 +496,10 @@ class EptBackend : public IsolationBackend
                         /*elastic=*/true);
             m.bump("gate.ept.elasticSpawns");
         }
-        sh.serverIdle->wakeOne();
+        if (!coalesced) {
+            sh.serverIdle->wakeOne();
+            sh.lastDoorbell = m.cycles();
+        }
 
         while (!rpc.done)
             doneWait.wait();
@@ -416,10 +507,12 @@ class EptBackend : public IsolationBackend
             std::rethrow_exception(rpc.error);
     }
 
-  private:
     struct Rpc
     {
-        const std::function<void()> *body = nullptr;
+        /** The calls this slot carries: `count` bodies, run in order
+         *  (one for a plain crossing, the whole vector for a batch). */
+        const std::function<void()> *bodies = nullptr;
+        std::size_t count = 1;
         const std::string *calleeLib = nullptr;
         const char *fnName = nullptr;
         double workMult = 1.0;
@@ -439,6 +532,8 @@ class EptBackend : public IsolationBackend
         std::vector<Thread *> pool; ///< this shard's server threads
         int busy = 0;               ///< servers inside an RPC body
         std::size_t ringHighWater = 0;
+        /** When this shard's doorbell last rang (coalescing window). */
+        Cycles lastDoorbell = 0;
     };
 
     struct Vm
@@ -537,7 +632,13 @@ class EptBackend : public IsolationBackend
                 ++sh.busy;
                 try {
                     WorkMultGuard guard(m, rpc->workMult);
-                    (*rpc->body)();
+                    // A batched slot carries several calls, run in
+                    // order under one dispatch (the per-slot cost was
+                    // charged by the submitter). An exception from
+                    // any body aborts the rest of the batch and
+                    // travels back as the slot's single error.
+                    for (std::size_t i = 0; i < rpc->count; ++i)
+                        rpc->bodies[i]();
                 } catch (...) {
                     rpc->error = std::current_exception();
                 }
@@ -594,6 +695,37 @@ class CheriBackend : public IsolationBackend
         ReturnCharge rc(m, returnCost);
         DomainTransition dt(img, to, workMult);
         body();
+    }
+
+    void
+    crossCallBatch(Image &img, int from, int to,
+                   const GatePolicy &policy, const std::string &,
+                   const char *, double workMult,
+                   const std::function<void()> *bodies,
+                   std::size_t count) override
+    {
+        // One CInvoke entry and one return-side clear for the whole
+        // vector, each extra call paying only the slot-dispatch cost
+        // (the sentry check covers the shared entry point once).
+        auto &m = img.machine();
+        m.consume(m.timing.registerSaveZero +
+                  (m.timing.mpkDssGate - m.timing.mpkDssReturn));
+        Cycles returnCost = m.timing.mpkDssReturn;
+        if (!policy.scrubReturn)
+            returnCost -= std::min(returnCost, m.timing.registerSaveZero);
+        m.bump("gate.cheri");
+        if (count > 1)
+            m.consume(static_cast<Cycles>(count - 1) *
+                      m.timing.batchSlot);
+        Thread *t = img.scheduler().current();
+        if (t)
+            img.simStackFor(t->id(), to, policy.stackSharing);
+        for (std::size_t i = 0; i < count; ++i)
+            img.noteCrossing(from, to);
+        ReturnCharge rc(m, returnCost);
+        DomainTransition dt(img, to, workMult);
+        for (std::size_t i = 0; i < count; ++i)
+            bodies[i]();
     }
 };
 

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/config.hh"
 
@@ -60,6 +61,31 @@ class IsolationBackend
                            const std::string &calleeLib,
                            const char *fnName, double calleeWorkMult,
                            const std::function<void()> &body) = 0;
+
+    /**
+     * Vectored crossing: execute `count` bodies in compartment 'to'
+     * through ONE domain transition (`batch: N` boundaries). The
+     * default degrades to sequential crossCalls — correct for any
+     * backend, no amortization. Backends that can amortize override
+     * it: MPK and CHERI pay one entry/return leg plus a per-slot
+     * dispatch cost, EPT submits one ring slot and rings one doorbell
+     * for the whole vector. Bodies run in order; the policy's
+     * validate/scrub legs are charged once per transition, not per
+     * body, and an exception from any body aborts the rest of the
+     * batch.
+     */
+    virtual void
+    crossCallBatch(Image &img, int from, int to,
+                   const GatePolicy &policy,
+                   const std::string &calleeLib, const char *fnName,
+                   double calleeWorkMult,
+                   const std::function<void()> *bodies,
+                   std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            crossCall(img, from, to, policy, calleeLib, fnName,
+                      calleeWorkMult, bodies[i]);
+    }
 
     /**
      * Whether the mechanism validates entry points on every crossing

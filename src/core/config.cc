@@ -111,6 +111,38 @@ steeringName(NicSteering s)
     return s == NicSteering::Rss ? "rss" : "single";
 }
 
+GateElide
+elideFromName(const std::string &name)
+{
+    std::string n = toLower(trim(name));
+    if (n == "none")
+        return GateElide::None;
+    if (n == "validate")
+        return GateElide::Validate;
+    if (n == "scrub")
+        return GateElide::Scrub;
+    if (n == "both")
+        return GateElide::Both;
+    fatal("unknown elide '", name,
+          "' (expected validate, scrub, both or none)");
+}
+
+const char *
+elideName(GateElide e)
+{
+    switch (e) {
+      case GateElide::None:
+        return "none";
+      case GateElide::Validate:
+        return "validate";
+      case GateElide::Scrub:
+        return "scrub";
+      case GateElide::Both:
+        return "both";
+    }
+    return "?";
+}
+
 Hardening
 hardeningFromName(const std::string &name)
 {
@@ -308,6 +340,34 @@ const BoundaryKey boundaryKeyTable[] = {
      [](BoundaryRule &r, const std::string &v, int) {
          r.stackSharing = stackSharingFromName(v);
      }},
+    {"batch", "<calls>",
+     "Vectored-crossing width: up to this many queued calls of the "
+     "edge are submitted through one gate (one EPT ring doorbell, one "
+     "MPK/CHERI entry/return leg), each extra call paying only a "
+     "per-slot dispatch cost. Performance-only — throttle budgets are "
+     "still debited per logical call. Default: 1 (no batching).",
+     [](BoundaryRule &r, const std::string &v, int lineNo) {
+         r.batch = parseCount(v, lineNo, "batch", 6);
+     }},
+    {"coalesce", "<vcycles>",
+     "Doorbell-coalescing window for EPT edges under back-pressure: a "
+     "submission finding the ring non-empty within this many vcycles "
+     "of the last doorbell skips the doorbell (the ringing server "
+     "drains the slot) and bumps `gate.coalesced`. Default: 0 (ring "
+     "every time).",
+     [](BoundaryRule &r, const std::string &v, int lineNo) {
+         r.coalesce = parseCount(v, lineNo, "coalesce", 12);
+     }},
+    {"elide", "validate | scrub | both | none",
+     "Skip entry-validation and/or return-scrub legs for consecutive "
+     "same-boundary calls from the same thread; the streak resets on "
+     "any intervening crossing, so the first call of every run pays "
+     "the full legs. Strictly less safe than the default. Elided legs "
+     "bump `gate.elided.validate` / `gate.elided.scrub`. "
+     "Default: none.",
+     [](BoundaryRule &r, const std::string &v, int) {
+         r.elide = elideFromName(v);
+     }},
 };
 
 /**
@@ -413,7 +473,8 @@ parseBoundaryRule(const std::string &key, const std::string &value,
     fatal_if(denied && (rule.flavor || rule.validate ||
                         rule.validateReturn || rule.scrub ||
                         rule.rate || rule.window || rule.weight ||
-                        rule.overflow || rule.stackSharing),
+                        rule.overflow || rule.stackSharing ||
+                        rule.batch || rule.coalesce || rule.elide),
              "config line ", lineNo, ": boundary rule '",
              rule.edgeName(),
              "' sets deny: true alongside other keys — a denied edge "
@@ -449,6 +510,12 @@ GatePolicy::name() const
     }
     if (stackSharing != StackSharing::Dss)
         s += std::string("+stack=") + stackSharingName(stackSharing);
+    if (batch > 1)
+        s += "+batch(" + std::to_string(batch) + ")";
+    if (coalesce)
+        s += "+coalesce(" + std::to_string(coalesce) + ")";
+    if (elide != GateElide::None)
+        s += std::string("+elide=") + elideName(elide);
     return s;
 }
 
@@ -467,13 +534,17 @@ enum PolicyField
     FieldWeight,
     FieldOverflow,
     FieldStackSharing,
+    FieldBatch,
+    FieldCoalesce,
+    FieldElide,
     FieldCount,
 };
 
 const char *const policyFieldName[FieldCount] = {
     "gate",   "validate", "validate_return", "scrub",
     "deny",   "rate",     "window",          "weight",
-    "overflow", "stack_sharing",
+    "overflow", "stack_sharing", "batch",    "coalesce",
+    "elide",
 };
 
 /** Which rule last set a field of a cell, and at what layer. */
@@ -580,6 +651,9 @@ GateMatrix::build(const SafetyConfig &cfg)
                     apply(FieldOverflow, p.overflow, r.overflow);
                     apply(FieldStackSharing, p.stackSharing,
                           r.stackSharing);
+                    apply(FieldBatch, p.batch, r.batch);
+                    apply(FieldCoalesce, p.coalesce, r.coalesce);
+                    apply(FieldElide, p.elide, r.elide);
                 }
             }
         }
@@ -857,6 +931,18 @@ SafetyConfig::toText() const
                 oss << "stack_sharing: "
                     << stackSharingName(*r.stackSharing);
             }
+            if (r.batch) {
+                sep();
+                oss << "batch: " << *r.batch;
+            }
+            if (r.coalesce) {
+                sep();
+                oss << "coalesce: " << *r.coalesce;
+            }
+            if (r.elide) {
+                sep();
+                oss << "elide: " << elideName(*r.elide);
+            }
             oss << "}\n";
         }
     }
@@ -1065,6 +1151,24 @@ configReferenceMarkdown()
            "(back-pressure) |\n";
     oss << "| `" << rateOverflowName(RateOverflow::Fail)
         << "` | fail the crossing with a ThrottledCrossing error |\n";
+
+    oss << "\n### Gate elision\n\n";
+    oss << "| Name | Meaning |\n|------|---------|\n";
+    struct
+    {
+        GateElide e;
+        const char *doc;
+    } elides[] = {
+        {GateElide::None, "never skip a leg (full-strength policy)"},
+        {GateElide::Validate,
+         "skip the entry-validation charge on same-boundary streaks"},
+        {GateElide::Scrub,
+         "skip the return-path register scrub on same-boundary "
+         "streaks"},
+        {GateElide::Both, "skip both legs on same-boundary streaks"},
+    };
+    for (const auto &e : elides)
+        oss << "| `" << elideName(e.e) << "` | " << e.doc << " |\n";
     return oss.str();
 }
 

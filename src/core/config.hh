@@ -99,6 +99,21 @@ enum class NicSteering
     Single,
 };
 
+/**
+ * Which per-crossing safety legs a boundary may skip for consecutive
+ * same-boundary calls from the same thread (`elide:` key). The streak
+ * resets on any intervening crossing of a *different* boundary, so the
+ * first call after a boundary change always pays the full legs.
+ * Strictly less safe than None — the explore poset orders it so.
+ */
+enum class GateElide
+{
+    None,     ///< never skip (the default, full-strength policy)
+    Validate, ///< skip the entry-validation charge on streaks
+    Scrub,    ///< skip the return-path register scrub on streaks
+    Both,     ///< skip both legs on streaks
+};
+
 /** Parse helpers for the enums (fatal on unknown names). */
 Mechanism mechanismFromName(const std::string &name);
 const char *mechanismName(Mechanism m);
@@ -109,6 +124,20 @@ const char *stackSharingName(StackSharing s);
 const char *rateOverflowName(RateOverflow o);
 NicSteering steeringFromName(const std::string &name);
 const char *steeringName(NicSteering s);
+GateElide elideFromName(const std::string &name);
+const char *elideName(GateElide e);
+
+/** Whether an elide mode covers entry validation / return scrubbing. */
+inline bool
+elidesValidate(GateElide e)
+{
+    return e == GateElide::Validate || e == GateElide::Both;
+}
+inline bool
+elidesScrub(GateElide e)
+{
+    return e == GateElide::Scrub || e == GateElide::Both;
+}
 
 /**
  * Whether a mechanism's compartments occupy an MPK protection key in
@@ -217,6 +246,34 @@ struct GatePolicy
      */
     StackSharing stackSharing = StackSharing::Dss;
 
+    /**
+     * Vectored-crossing width (`batch:` key): up to this many queued
+     * calls of the same boundary are submitted through ONE gate —
+     * one EPT ring doorbell, one MPK/CHERI entry/return leg — with
+     * each extra call charged only the per-slot dispatch cost.
+     * Perf-only (every call still runs behind the boundary, and
+     * throttle budgets are debited per logical call). 1 = no batching,
+     * vcycle-identical to the unbatched gate by construction.
+     */
+    std::uint64_t batch = 1;
+
+    /**
+     * Doorbell-coalescing window in virtual cycles (`coalesce:` key,
+     * EPT boundaries under back-pressure): a submission that finds the
+     * ring non-empty within this window of the last doorbell skips the
+     * doorbell — the already-ringing server will drain the slot. 0 =
+     * ring every time.
+     */
+    std::uint64_t coalesce = 0;
+
+    /**
+     * Skip entry-validation and/or return-scrub legs for consecutive
+     * same-boundary calls from the same thread (`elide:` key). The
+     * streak resets on any intervening crossing, so the first call of
+     * every run pays the full legs. Strictly less safe than None.
+     */
+    GateElide elide = GateElide::None;
+
     /** Policy name, e.g. "intel-mpk(light)" or "vm-ept+validate". */
     std::string name() const;
 
@@ -243,6 +300,9 @@ struct BoundaryRule
     std::optional<RateOverflow> overflow; ///< `overflow: stall|fail`
     /** `stack_sharing: heap|dss|shared-stack` */
     std::optional<StackSharing> stackSharing;
+    std::optional<std::uint64_t> batch;    ///< `batch: N` (calls/gate)
+    std::optional<std::uint64_t> coalesce; ///< `coalesce: N` (vcycles)
+    std::optional<GateElide> elide; ///< `elide: validate|scrub|both|none`
 
     /** "from -> to", for error messages. */
     std::string edgeName() const { return from + " -> " + to; }

@@ -1,6 +1,7 @@
 #include "core/image.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 #include "base/logging.hh"
@@ -169,6 +170,144 @@ Image::enforceBoundary(int from, int to, const GatePolicy &pol)
     b.tokens -= 1.0;
 }
 
+bool
+Image::noteBoundaryStreak(int from, int to)
+{
+    Thread *t = sched.current();
+    int id = t ? t->id() : -1;
+    auto key = std::make_pair(from, to);
+    auto [it, inserted] = lastBoundary.try_emplace(id, key);
+    if (inserted)
+        return false;
+    bool same = it->second == key;
+    it->second = key;
+    return same;
+}
+
+const GatePolicy &
+Image::applyElision(int from, int to, const GatePolicy &pol,
+                    GatePolicy &scratch)
+{
+    bool streak = noteBoundaryStreak(from, to);
+    if (pol.validateEntry) {
+        if (streak && elidesValidate(pol.elide)) {
+            mach.bump("gate.elided.validate");
+        } else {
+            // Policy-forced caller-side entry validation: one probe
+            // of the callee's export table, whatever the mechanism's
+            // own rule (the functional check is in checkEntry).
+            mach.consume(mach.timing.entryValidate);
+            mach.bump("gate.validate");
+        }
+    }
+    if (streak && elidesScrub(pol.elide) && pol.scrubReturn) {
+        scratch = pol;
+        scratch.scrubReturn = false;
+        mach.bump("gate.elided.scrub");
+        return scratch;
+    }
+    return pol;
+}
+
+void
+Image::gateBatch(const std::string &calleeLib, const char *fnName,
+                 const std::vector<std::function<void()>> &bodies)
+{
+    if (bodies.empty())
+        return;
+    int from = currentCompartment();
+    int to = resolveCallee(calleeLib, from);
+    const std::size_t width =
+        from == to
+            ? 1
+            : static_cast<std::size_t>(
+                  std::max<std::uint64_t>(policyFor(from, to).batch, 1));
+    if (width <= 1) {
+        // Unbatched boundary (or a same-compartment call): exactly
+        // the sequential gate path, vcycle-identical by construction.
+        for (const auto &body : bodies)
+            gate(calleeLib, fnName, [&] { body(); });
+        return;
+    }
+    double mult = libMultiplier(calleeLib);
+    const GatePolicy &pol = policyFor(from, to);
+    IsolationBackend &be = backendOf(pol.mech);
+    for (std::size_t i = 0; i < bodies.size(); i += width) {
+        std::size_t k = std::min(width, bodies.size() - i);
+        // Least-privilege enforcement is per LOGICAL call: a batch of
+        // k debits the token bucket k times (and a denied edge
+        // rejects the whole batch before any work).
+        for (std::size_t j = 0; j < k; ++j)
+            enforceBoundary(from, to, pol);
+        GatePolicy scratch;
+        const GatePolicy &eff = applyElision(from, to, pol, scratch);
+        checkEntry(calleeLib, fnName, to, pol);
+        noteCoreMigration(to);
+        if (k == 1) {
+            be.crossCall(*this, from, to, eff, calleeLib, fnName, mult,
+                         bodies[i]);
+        } else {
+            mach.bump("gate.batched");
+            mach.bump("gate.batchedCalls", k);
+            be.crossCallBatch(*this, from, to, eff, calleeLib, fnName,
+                              mult, &bodies[i], k);
+        }
+        noteReturn(pol);
+    }
+}
+
+void
+Image::gateDeferred(const std::string &calleeLib, const char *fnName,
+                    std::function<void()> body)
+{
+    int from = currentCompartment();
+    int to = resolveCallee(calleeLib, from);
+    if (from == to || policyFor(from, to).batch <= 1) {
+        gate(calleeLib, fnName, [&] { body(); });
+        return;
+    }
+    Thread *t = sched.current();
+    int id = t ? t->id() : -1;
+    {
+        PendingBatch &pb = pendingBatches[id];
+        if (!pb.bodies.empty() &&
+            (pb.lib != calleeLib || std::strcmp(pb.fn, fnName) != 0)) {
+            // A deferred call to a different target flushes the
+            // pending batch first so the two boundaries stay ordered.
+            flushBatchFor(id);
+        }
+    }
+    PendingBatch &pb = pendingBatches[id]; // flush may have erased it
+    pb.lib = calleeLib;
+    pb.fn = fnName;
+    pb.bodies.push_back(std::move(body));
+    if (pb.bodies.size() >= static_cast<std::size_t>(
+                                policyFor(from, to).batch))
+        flushBatchFor(id);
+}
+
+void
+Image::flushBatch()
+{
+    Thread *t = sched.current();
+    flushBatchFor(t ? t->id() : -1);
+}
+
+void
+Image::flushBatchFor(int threadId)
+{
+    auto it = pendingBatches.find(threadId);
+    if (it == pendingBatches.end() || it->second.bodies.empty())
+        return;
+    // Move the batch out before crossing: the crossing can suspend
+    // (an EPT RPC blocks on its completion) and re-enter this
+    // function through the pre-suspension hook, which must then find
+    // no pending work.
+    PendingBatch pb = std::move(it->second);
+    pendingBatches.erase(it);
+    gateBatch(pb.lib, pb.fn, pb.bodies);
+}
+
 IsolationBackend &
 Image::backendFor(int comp) const
 {
@@ -272,6 +411,13 @@ Image::boot()
     threadExitListener = sched.addThreadExitListener(
         [this](Thread &t) { reapSimStacks(t.id()); });
 
+    // Deferred vectored calls must never ride a migration: flush a
+    // thread's pending batch at every suspension point, while it is
+    // still running on the core that queued the calls (only suspended
+    // threads can be stolen or woken cross-core).
+    sched.onPreSuspend = [this](Thread &t) { flushBatchFor(t.id()); };
+    preSuspendHooked = true;
+
     // Boot-time cost: section protection, key setup, backend init.
     mach.consume(50'000 + 10'000 * comps.size());
     mach.bump("image.boots");
@@ -289,6 +435,12 @@ Image::shutdown()
         (*it)->shutdown(*this);
     sched.removeThreadExitListener(threadExitListener);
     threadExitListener = -1;
+    if (preSuspendHooked) {
+        sched.onPreSuspend = nullptr;
+        preSuspendHooked = false;
+    }
+    pendingBatches.clear();
+    lastBoundary.clear();
     unregisterRegions();
     booted = false;
 }
@@ -527,6 +679,16 @@ Image::reapSimStacks(int threadId)
                                SimStack::stackBytes);
         it = simStacks.erase(it);
         mach.bump("image.simStackReaps");
+    }
+    lastBoundary.erase(threadId);
+    // A thread that exits with deferred calls still queued never
+    // reached a flush point — drop them, visibly (the cancellation
+    // unwind legitimately strands batches at teardown).
+    auto pit = pendingBatches.find(threadId);
+    if (pit != pendingBatches.end()) {
+        if (!pit->second.bodies.empty())
+            mach.bump("gate.batchDropped", pit->second.bodies.size());
+        pendingBatches.erase(pit);
     }
 }
 

@@ -218,28 +218,57 @@ class Image
         // checked before any gate cost is charged.
         const GatePolicy &pol = policyFor(from, to);
         enforceBoundary(from, to, pol);
-        if (pol.validateEntry) {
-            // Policy-forced caller-side entry validation: one probe of
-            // the callee's export table, whatever the mechanism's own
-            // rule (the functional check is in checkEntry below).
-            mach.consume(mach.timing.entryValidate);
-            mach.bump("gate.validate");
-        }
+        GatePolicy scratch;
+        const GatePolicy &eff =
+            applyElision(from, to, pol, scratch);
         checkEntry(calleeLib, fnName, to, pol);
         noteCoreMigration(to);
         IsolationBackend &be = backendOf(pol.mech);
         if constexpr (std::is_void_v<R>) {
-            be.crossCall(*this, from, to, pol, calleeLib, fnName, mult,
+            be.crossCall(*this, from, to, eff, calleeLib, fnName, mult,
                          [&] { fn(); });
             noteReturn(pol);
         } else {
             std::optional<R> result;
-            be.crossCall(*this, from, to, pol, calleeLib, fnName, mult,
+            be.crossCall(*this, from, to, eff, calleeLib, fnName, mult,
                          [&] { result.emplace(fn()); });
             noteReturn(pol);
             return std::move(*result);
         }
     }
+
+    /**
+     * Vectored gate: run a sequence of calls to one entry point of
+     * calleeLib through batched crossings of the boundary's `batch:`
+     * width — each chunk pays ONE backend transition (one EPT
+     * doorbell, one MPK/CHERI entry/return leg) plus a per-slot cost,
+     * while deny/rate enforcement is still debited per logical call.
+     * `batch: 1` boundaries (and same-compartment calls) degrade to
+     * the plain sequential gate, vcycle-identical by construction.
+     */
+    void gateBatch(const std::string &calleeLib, const char *fnName,
+                   const std::vector<std::function<void()>> &bodies);
+
+    /**
+     * Deferred vectored gate: queue one call on the calling thread's
+     * pending batch for the boundary instead of crossing immediately.
+     * The batch flushes when `batch:` calls have accumulated, when a
+     * deferred call targets a different library/entry point, on
+     * flushBatch(), and — via the scheduler's pre-suspension hook —
+     * whenever the thread yields, blocks or sleeps, so a thread can
+     * never migrate cores with queued calls (they execute, and are
+     * charged, on the core that queued them). On `batch: 1`
+     * boundaries the call crosses immediately through the plain gate.
+     * Callers must not rely on results before the flush.
+     */
+    void gateDeferred(const std::string &calleeLib, const char *fnName,
+                      std::function<void()> body);
+
+    /** Flush the calling thread's pending deferred batch, if any. */
+    void flushBatch();
+
+    /** Flush one thread's pending deferred batch (suspension hook). */
+    void flushBatchFor(int threadId);
 
     /**
      * Effective hardening work multiplier of a library: the union of
@@ -438,6 +467,27 @@ class Image
     void registerRegions();
     void unregisterRegions();
 
+    /**
+     * Elision streak accounting + the entry-validate leg: records the
+     * calling thread's (from, to) crossing, and when the previous
+     * crossing was this same boundary and the policy elides legs,
+     * returns a policy copy (in `scratch`) with the elided legs
+     * dropped (`gate.elided.validate` / `gate.elided.scrub`). The
+     * validate charge is made here either way; with `elide: none`
+     * (the default) the returned policy is `pol` itself and the
+     * charges are exactly the pre-batching gate's.
+     */
+    const GatePolicy &applyElision(int from, int to,
+                                   const GatePolicy &pol,
+                                   GatePolicy &scratch);
+
+    /**
+     * Whether the calling thread's previous crossing was this same
+     * boundary; records (from, to) either way so any intervening
+     * crossing resets every other boundary's streak. Charge-free.
+     */
+    bool noteBoundaryStreak(int from, int to);
+
     /** Token bucket of one rate-limited boundary (vcycle refill). */
     struct GateBucket
     {
@@ -470,6 +520,19 @@ class Image
     std::vector<GateBucket> gateBuckets;
     /** Core each compartment last executed on (-1 = never entered). */
     std::vector<int> compLastCore;
+    /** Per-thread (from, to) of the last crossing (`elide:` streaks). */
+    std::map<int, std::pair<int, int>> lastBoundary;
+
+    /** One thread's queued deferred calls (gateDeferred). */
+    struct PendingBatch
+    {
+        std::string lib;
+        const char *fn = nullptr;
+        std::vector<std::function<void()>> bodies;
+    };
+    std::map<int, PendingBatch> pendingBatches;
+    /** Scheduler pre-suspension hook installed (batch flushing). */
+    bool preSuspendHooked = false;
     std::map<std::pair<int, int>, SimStack> simStacks;
     std::map<std::pair<int, int>, std::uint64_t> crossings;
     std::vector<const void *> registeredRegions;

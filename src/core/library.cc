@@ -80,7 +80,8 @@ LibraryRegistry::standard()
     r.add(LibraryInfo{
         .name = "lwip",
         .entryPoints = {"socket", "bind", "listen", "accept", "connect",
-                        "send", "recv", "close", "poll"},
+                        "send", "recv", "close", "poll", "rx_burst",
+                        "timer_poll"},
         .callees = {"ukalloc", "uksched", "uktime"},
         .sharedVars = 23,
         .patchAdded = 542,

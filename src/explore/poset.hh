@@ -61,6 +61,24 @@ struct ConfigPoint
     int cores = 1;
 
     /**
+     * Vectored-gate batch width (the `batch:` boundary knob, applied
+     * image-wide as a wildcard rule). Purely a performance dimension
+     * like cores: batching moves calls between crossings without
+     * weakening any protection state — every call still passes entry
+     * checks and rate enforcement — so compareSafety ignores it.
+     */
+    int gateBatch = 1;
+
+    /**
+     * Crossing-work elided on repeated same-boundary calls (the
+     * `elide:` knob): bit 0 = entry validation, bit 1 = return-side
+     * scrubbing. Unlike batching this weakens the protection state,
+     * so the subset order ranks it — a config eliding a strict
+     * superset of another's per-crossing work is strictly LESS safe.
+     */
+    unsigned elided = 0;
+
+    /**
      * Least-privilege dimension: ordered (from, to) partition-block
      * edges the configuration denies (`deny: true` boundary rules).
      * Denying more edges shrinks the reachable call graph, so the

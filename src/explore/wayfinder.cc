@@ -177,6 +177,234 @@ coreCountSpace()
 }
 
 std::vector<ConfigPoint>
+batchingSpace()
+{
+    std::vector<ConfigPoint> out;
+    for (const auto &partition : fig6Partitions()) {
+        for (int batch : {1, 4, 8}) {
+            for (unsigned elided : {0u, 1u, 2u, 3u}) {
+                ConfigPoint p;
+                p.partition = partition;
+                p.hardening.assign(partition.size(), 0);
+                p.mechanismRank = 1; // MPK
+                p.sharingRank = 1;   // DSS
+                p.gateBatch = batch;
+                p.elided = elided;
+                out.push_back(std::move(p));
+            }
+        }
+    }
+    return out;
+}
+
+std::size_t
+explorePrunedProduct(
+    const std::vector<ProductDimension> &dims,
+    const std::function<double(const std::vector<std::size_t> &)> &eval,
+    double minPerf,
+    const std::function<void(const std::vector<std::size_t> &, double)>
+        &emit)
+{
+    // Does candidate `v` dominate (sit at-or-above, component-wise)
+    // one of the vectors that already missed the budget? Every axis
+    // order is reflexive, so a failed vector also "dominates" itself
+    // and is never revisited.
+    std::vector<std::vector<std::size_t>> failed;
+    auto dominatesFailed = [&](const std::vector<std::size_t> &v) {
+        for (const auto &f : failed) {
+            bool dom = true;
+            for (std::size_t d = 0; d < dims.size() && dom; ++d)
+                if (!dims[d].le(f[d], v[d]))
+                    dom = false;
+            if (dom)
+                return true;
+        }
+        return false;
+    };
+
+    std::size_t evaluated = 0;
+    auto visit = [&](const std::vector<std::size_t> &v) {
+        if (dominatesFailed(v))
+            return;
+        double perf = eval(v);
+        ++evaluated;
+        if (perf >= minPerf) {
+            if (emit)
+                emit(v, perf);
+        } else {
+            failed.push_back(v);
+        }
+    };
+
+    // Ascending index-sum enumeration: one index vector live at a
+    // time, recursion assigning axis d a share of the remaining sum.
+    // The linear-extension contract on each axis makes this a linear
+    // extension of the product order, so by the time a vector is
+    // visited everything it dominates has already been measured (or
+    // pruned) — maximal pruning without materializing the product.
+    std::size_t maxSum = 0;
+    for (const auto &d : dims) {
+        panic_if(d.size == 0 || !d.le, "malformed product dimension");
+        maxSum += d.size - 1;
+    }
+    std::vector<std::size_t> v(dims.size(), 0);
+    std::function<void(std::size_t, std::size_t)> place =
+        [&](std::size_t d, std::size_t rest) {
+            if (d == dims.size()) {
+                if (rest == 0)
+                    visit(v);
+                return;
+            }
+            std::size_t cap = std::min(rest, dims[d].size - 1);
+            for (std::size_t i = 0; i <= cap; ++i) {
+                v[d] = i;
+                place(d + 1, rest - i);
+            }
+        };
+    for (std::size_t sum = 0; sum <= maxSum; ++sum)
+        place(0, sum);
+    return evaluated;
+}
+
+std::size_t
+prunedBoundarySweep(const std::vector<int> &partition,
+                    const std::string &appLib,
+                    const std::function<double(ConfigPoint &)> &eval,
+                    double minPerf, std::vector<ConfigPoint> &accepted)
+{
+    ConfigPoint base;
+    base.partition = partition;
+    std::size_t nBlocks = static_cast<std::size_t>(base.compartments());
+
+    // Axis 1: per-block mechanism assignments, every code from
+    // {none, mpk, ept, cheri}^nBlocks listed by ascending rank sum (a
+    // linear extension of the component-wise partial order, ept/cheri
+    // antichain included).
+    std::size_t mechCount = 1;
+    for (std::size_t b = 0; b < nBlocks; ++b)
+        mechCount *= 4;
+    auto mechRanks = [nBlocks](std::size_t code) {
+        std::vector<int> r(nBlocks);
+        for (std::size_t b = 0; b < nBlocks; ++b) {
+            r[b] = static_cast<int>(code % 4);
+            code /= 4;
+        }
+        return r;
+    };
+    std::vector<std::size_t> mechCodes(mechCount);
+    for (std::size_t c = 0; c < mechCount; ++c)
+        mechCodes[c] = c;
+    std::stable_sort(mechCodes.begin(), mechCodes.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         auto ra = mechRanks(a), rb = mechRanks(b);
+                         int sa = 0, sb = 0;
+                         for (std::size_t i = 0; i < nBlocks; ++i) {
+                             sa += ra[i];
+                             sb += rb[i];
+                         }
+                         return sa < sb;
+                     });
+
+    // Axis 2: per-block gate flavours (bitmask, bit = dss), listed by
+    // popcount so subsets precede supersets.
+    std::vector<std::size_t> flavCodes(std::size_t(1) << nBlocks);
+    for (std::size_t c = 0; c < flavCodes.size(); ++c)
+        flavCodes[c] = c;
+    auto popcount = [](std::size_t x) {
+        int n = 0;
+        for (; x; x &= x - 1)
+            ++n;
+        return n;
+    };
+    std::stable_sort(flavCodes.begin(), flavCodes.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return popcount(a) < popcount(b);
+                     });
+
+    // Axis 3: deniable-edge subsets (bitmask over the edges the
+    // static call graph does not need), by popcount — denying more
+    // edges is safer.
+    auto required = requiredBlockEdges(partition, appLib);
+    std::set<std::pair<int, int>> keep(required.begin(), required.end());
+    std::vector<std::pair<int, int>> deniable;
+    for (int f = 0; f < static_cast<int>(nBlocks); ++f)
+        for (int t = 0; t < static_cast<int>(nBlocks); ++t)
+            if (f != t && !keep.count({f, t}))
+                deniable.emplace_back(f, t);
+    std::vector<std::size_t> denyCodes(std::size_t(1)
+                                       << deniable.size());
+    for (std::size_t c = 0; c < denyCodes.size(); ++c)
+        denyCodes[c] = c;
+    std::stable_sort(denyCodes.begin(), denyCodes.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return popcount(a) < popcount(b);
+                     });
+
+    // Axis 4: elision sets, least safe first (elide superset ⇒ less
+    // safe): both < {validate, scrub} < none.
+    static const unsigned elideLevels[] = {3u, 1u, 2u, 0u};
+
+    // Axis 5: batch width — performance-only, equality order.
+    static const int batchLevels[] = {1, 4, 8};
+
+    std::vector<ProductDimension> dims(5);
+    dims[0] = {"mechanism", mechCount, [&, nBlocks](std::size_t a,
+                                                    std::size_t b) {
+                   auto ra = mechRanks(mechCodes[a]),
+                        rb = mechRanks(mechCodes[b]);
+                   for (std::size_t i = 0; i < nBlocks; ++i)
+                       if (!mechanismRankLe(ra[i], rb[i]))
+                           return false;
+                   return true;
+               }};
+    dims[1] = {"flavour", flavCodes.size(),
+               [&](std::size_t a, std::size_t b) {
+                   return (flavCodes[a] & flavCodes[b]) == flavCodes[a];
+               }};
+    dims[2] = {"deny", denyCodes.size(),
+               [&](std::size_t a, std::size_t b) {
+                   return (denyCodes[a] & denyCodes[b]) == denyCodes[a];
+               }};
+    dims[3] = {"elide", 4, [](std::size_t a, std::size_t b) {
+                   return (elideLevels[a] & elideLevels[b]) ==
+                          elideLevels[b];
+               }};
+    dims[4] = {"batch", 3,
+               [](std::size_t a, std::size_t b) { return a == b; }};
+
+    auto materialize = [&](const std::vector<std::size_t> &v) {
+        ConfigPoint p;
+        p.partition = partition;
+        p.hardening.assign(partition.size(), 0);
+        p.blockMechanism = mechRanks(mechCodes[v[0]]);
+        p.blockGateFlavor.resize(nBlocks);
+        for (std::size_t b = 0; b < nBlocks; ++b)
+            p.blockGateFlavor[b] =
+                (flavCodes[v[1]] >> b) & 1 ? 1 : 0;
+        for (std::size_t e = 0; e < deniable.size(); ++e)
+            if (denyCodes[v[2]] & (std::size_t(1) << e))
+                p.deniedEdges.push_back(deniable[e]);
+        p.elided = elideLevels[v[3]];
+        p.gateBatch = batchLevels[v[4]];
+        p.sharingRank = 1; // DSS
+        return p;
+    };
+
+    return explorePrunedProduct(
+        dims,
+        [&](const std::vector<std::size_t> &v) {
+            ConfigPoint p = materialize(v);
+            return eval(p);
+        },
+        minPerf,
+        [&](const std::vector<std::size_t> &v, double perf) {
+            ConfigPoint p = materialize(v);
+            p.perf = perf;
+            accepted.push_back(std::move(p));
+        });
+}
+
+std::vector<ConfigPoint>
 leastPrivilegeSpace(const std::string &appLib)
 {
     std::vector<ConfigPoint> out;
@@ -267,6 +495,22 @@ toSafetyConfig(const ConfigPoint &point, const std::string &appLib)
         rules.push_back("- comp" + std::to_string(f + 1) + " -> comp" +
                         std::to_string(t + 1) + ": {deny: true}");
     }
+    // Vectored-crossing knobs apply image-wide: one least-specific
+    // wildcard rule that every exact/deny rule above still overrides.
+    if (point.gateBatch > 1 || point.elided != 0) {
+        std::string knobs;
+        if (point.gateBatch > 1)
+            knobs += "batch: " + std::to_string(point.gateBatch);
+        if (point.elided != 0) {
+            if (!knobs.empty())
+                knobs += ", ";
+            knobs += std::string("elide: ") +
+                     (point.elided == 3   ? "both"
+                      : point.elided == 1 ? "validate"
+                                          : "scrub");
+        }
+        rules.push_back("- '*' -> '*': {" + knobs + "}");
+    }
     if (!rules.empty()) {
         cfg << "boundaries:\n";
         for (const std::string &r : rules)
@@ -332,6 +576,13 @@ pointLabel(const ConfigPoint &point, const std::string &appLib)
     }
     if (point.cores > 1)
         oss << " x" << point.cores << "cores";
+    if (point.gateBatch > 1)
+        oss << " batch" << point.gateBatch;
+    if (point.elided)
+        oss << " elide:"
+            << (point.elided == 3   ? "both"
+                : point.elided == 1 ? "validate"
+                                    : "scrub");
     return oss.str();
 }
 

@@ -10,6 +10,8 @@
 #ifndef FLEXOS_EXPLORE_WAYFINDER_HH
 #define FLEXOS_EXPLORE_WAYFINDER_HH
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -71,6 +73,66 @@ requiredBlockEdges(const std::vector<int> &partition,
                    const std::string &appLib);
 
 /**
+ * The vectored-crossing dimension of the configuration space: the
+ * five Figure 8 partitions (all-MPK, no hardening, DSS) crossed with
+ * gate batch widths {1, 4, 8} and elision sets {none, validate,
+ * scrub, both}, applied image-wide as a `'*' -> '*'` boundary rule.
+ * Batch width is performance-only; the elided set orders points by
+ * subset (eliding more per-crossing work is strictly less safe).
+ */
+std::vector<ConfigPoint> batchingSpace();
+
+/**
+ * One axis of a lazily enumerated product configuration space. The
+ * axis has `size` choices; `le(a, b)` is the safety partial order on
+ * choice indices ("a is at most as safe as b"). Choices MUST be
+ * listed in a linear extension of that order — le(a, b) implies
+ * a <= b — so that visiting index vectors by ascending index sum
+ * never visits a dominating vector before a dominated one. A
+ * performance-only axis (batch width, cores) uses equality as its
+ * order: no choice prunes any other.
+ */
+struct ProductDimension
+{
+    std::string name;
+    std::size_t size = 1;
+    std::function<bool(std::size_t a, std::size_t b)> le;
+};
+
+/**
+ * Monotone budget pruning over a product space, without materializing
+ * the product (the poset's explore() needs every node up front and
+ * O(n^2) edge construction — hopeless for mechanism × flavour × deny
+ * × batching products). Index vectors are generated one at a time in
+ * ascending index-sum order (a linear extension of the product
+ * safety order, given each axis's listing contract); eval() measures
+ * a vector's configuration. Since performance decreases monotonically
+ * with safety, once a vector misses the budget every vector
+ * dominating it component-wise is skipped unevaluated. emit() is
+ * called for every vector that met the budget, with its measurement.
+ * @return number of evaluations actually run.
+ */
+std::size_t explorePrunedProduct(
+    const std::vector<ProductDimension> &dims,
+    const std::function<double(const std::vector<std::size_t> &)> &eval,
+    double minPerf,
+    const std::function<void(const std::vector<std::size_t> &, double)>
+        &emit = {});
+
+/**
+ * The carried follow-up sweep: per-block mechanisms × per-block gate
+ * flavours × deniable-edge subsets × batching/elision for one
+ * Figure 8 partition, wired through explorePrunedProduct so the new
+ * batching dimension is sweepable without materializing the full
+ * product. Points meeting the budget are appended to `accepted` with
+ * their measured perf. @return number of evaluations actually run.
+ */
+std::size_t prunedBoundarySweep(
+    const std::vector<int> &partition, const std::string &appLib,
+    const std::function<double(ConfigPoint &)> &eval, double minPerf,
+    std::vector<ConfigPoint> &accepted);
+
+/**
  * The least-privilege dimension of the configuration space: the five
  * Figure 8 partitions (all-MPK, no hardening, DSS) crossed with every
  * subset of *deniable* block edges — ordered pairs the static call
@@ -89,7 +151,8 @@ leastPrivilegeSpace(const std::string &appLib = "libredis");
  * one mechanism per compartment (none/intel-mpk/vm-ept/cheri by
  * rank); points carrying blockGateFlavor emit a `boundaries:` section
  * with one wildcard rule per light block; deniedEdges add one
- * `deny: true` rule per edge.
+ * `deny: true` rule per edge; gateBatch > 1 and a non-empty elided
+ * set emit an image-wide `'*' -> '*'` batch/elide rule.
  */
 SafetyConfig toSafetyConfig(const ConfigPoint &point,
                             const std::string &appLib);

@@ -83,6 +83,7 @@ Scheduler::cancelAll()
     // guaranteed live. Backend hooks are disabled either way.
     onSwitch = nullptr;
     onThreadCreate = nullptr;
+    onPreSuspend = nullptr;
     exitListeners.clear();
     for (auto &t : threads)
         cancel(t.get());
@@ -506,10 +507,18 @@ Scheduler::runUntil(const std::function<bool()> &pred,
 }
 
 void
+Scheduler::preSuspend(Thread *self)
+{
+    if (onPreSuspend && !cancelling)
+        onPreSuspend(*self);
+}
+
+void
 Scheduler::yield()
 {
     Thread *self = running;
     panic_if(!self, "yield outside a thread");
+    preSuspend(self);
     self->state_ = Thread::State::Ready;
     runQueues[self->core].push_back(self);
     switchOut();
@@ -520,6 +529,7 @@ Scheduler::block(WaitQueue &q)
 {
     Thread *self = running;
     panic_if(!self, "block outside a thread");
+    preSuspend(self);
     self->state_ = Thread::State::Blocked;
     q.waiters.push_back(self);
     switchOut();
@@ -530,6 +540,7 @@ Scheduler::sleepNs(std::uint64_t ns)
 {
     Thread *self = running;
     panic_if(!self, "sleep outside a thread");
+    preSuspend(self);
     self->state_ = Thread::State::Sleeping;
     self->wakeAtCycles =
         mach.cycles() +
@@ -544,6 +555,7 @@ Scheduler::blockFor(WaitQueue &q, std::uint64_t ns)
 {
     Thread *self = running;
     panic_if(!self, "blockFor outside a thread");
+    preSuspend(self);
     self->state_ = Thread::State::Blocked;
     q.waiters.push_back(self);
     self->wakeAtCycles =
@@ -565,6 +577,7 @@ Scheduler::join(Thread *t)
     Thread *self = running;
     panic_if(!self, "join outside a thread");
     panic_if(t == self, "thread joining itself");
+    preSuspend(self);
     if (t->state_ == Thread::State::Finished)
         return;
     t->joiners.push_back(self);

@@ -153,6 +153,18 @@ class Scheduler
     std::function<void(Thread &)> onThreadCreate;
     /** Called on every switch; prev may be null (scheduler entry). */
     std::function<void(Thread *prev, Thread *next)> onSwitch;
+    /**
+     * Called at the top of every voluntary suspension (yield, block,
+     * blockFor, sleep, join) while the thread is still Running, before
+     * its state changes. Images hook this to flush a thread's pending
+     * deferred gate batch on the core that queued it — only suspended
+     * threads can be stolen or woken cross-core, so firing here
+     * guarantees no batch ever rides a migration. The hook may itself
+     * suspend (the flush can block on an RPC); re-entry sees the
+     * flushed state and is a no-op. Cleared by cancelAll() alongside
+     * the other hooks so teardown unwinding never runs gate work.
+     */
+    std::function<void(Thread &)> onPreSuspend;
     /** @} */
 
     /** @name Thread-exit listeners. @{ */
@@ -266,6 +278,9 @@ class Scheduler
 
     void switchTo(Thread *t);
     void switchOut();
+
+    /** Fire the pre-suspension hook (batch flush) unless tearing down. */
+    void preSuspend(Thread *self);
     void threadMain();
     static void trampoline();
 
