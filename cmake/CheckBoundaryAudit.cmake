@@ -1,0 +1,38 @@
+# Golden-report diff for the boundary auditor: run boundary_audit over
+# every example and test source (sorted, repo-relative, so the report
+# is deterministic across machines) and fail when the output differs
+# from the committed golden report. Invoked by the
+# `boundary_audit_golden` CTest (and the CI static-analysis job) as:
+#   cmake -DAUDIT_TOOL=<boundary_audit> -DSRC_ROOT=<repo root>
+#         -DGOLDEN=<tests/golden/boundary_audit.txt>
+#         -P cmake/CheckBoundaryAudit.cmake
+
+file(GLOB inputs RELATIVE ${SRC_ROOT}
+     ${SRC_ROOT}/examples/*.cpp ${SRC_ROOT}/tests/*.cc)
+list(SORT inputs)
+
+execute_process(COMMAND ${AUDIT_TOOL} --exit-zero
+                        --src-root ${SRC_ROOT} ${inputs}
+                WORKING_DIRECTORY ${SRC_ROOT}
+                OUTPUT_VARIABLE generated
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "boundary_audit failed with exit code ${rc}")
+endif()
+
+if(NOT EXISTS ${GOLDEN})
+  message(FATAL_ERROR
+          "${GOLDEN} does not exist; generate it with "
+          "`tools/update_boundary_audit_golden.sh`")
+endif()
+
+file(READ ${GOLDEN} committed)
+if(NOT generated STREQUAL committed)
+  file(WRITE ${CMAKE_CURRENT_BINARY_DIR}/boundary_audit.actual.txt
+       "${generated}")
+  message(FATAL_ERROR
+          "tests/golden/boundary_audit.txt is stale: the audit findings "
+          "over examples/ and tests/ changed (actual output written to "
+          "boundary_audit.actual.txt). Review the diff and regenerate "
+          "with `tools/update_boundary_audit_golden.sh`.")
+endif()

@@ -24,6 +24,7 @@
 
 #include <cstdio>
 
+#include "analysis/audit.hh"
 #include "apps/deploy.hh"
 #include "core/dss.hh"
 
@@ -172,6 +173,33 @@ main()
                     stat.to.c_str(), stat.policy.c_str(),
                     static_cast<unsigned long>(stat.count));
     }
+
+    // Where do the deny rules come from? The boundary auditor derives
+    // them: strip this config's deny rules and ask it what a minimal
+    // least-privilege ruleset would be — it suggests exactly the edges
+    // the `'*' -> app` rule covers (see docs/static-analysis.md and
+    // `tools/boundary_audit`).
+    LibraryRegistry reg = LibraryRegistry::standard();
+    analysis::AuditOptions aopts;
+    aopts.escape = false; // call-graph + policy passes only
+
+    SafetyConfig loose = img.config();
+    std::erase_if(loose.boundaries, [](const BoundaryRule &r) {
+        return r.deny && *r.deny;
+    });
+    analysis::AuditReport before = analysis::runAudit(loose, reg, aopts);
+    analysis::AuditReport after =
+        analysis::runAudit(img.config(), reg, aopts);
+
+    std::printf("\nboundary audit, deny rules stripped (score %d) — "
+                "suggested minimal deny ruleset:\n",
+                before.score());
+    for (const auto &[f, t] : before.suggestedDeny)
+        std::printf("  - %s -> %s: {deny: true}\n", f.c_str(),
+                    t.c_str());
+    std::printf("boundary audit of the shipped config (score %d): "
+                "%zu further deny rule(s) suggested\n",
+                after.score(), after.suggestedDeny.size());
 
     std::printf("\nThe matrix is a call-graph specification: edges "
                 "the deployment does not\nneed are denied, bursty "

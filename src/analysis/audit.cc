@@ -1,0 +1,25 @@
+#include "analysis/audit.hh"
+
+#include "analysis/callgraph.hh"
+#include "analysis/escape.hh"
+#include "analysis/policy.hh"
+
+namespace flexos {
+namespace analysis {
+
+AuditReport
+runAudit(const SafetyConfig &cfg, const LibraryRegistry &reg,
+         const AuditOptions &opts)
+{
+    AuditReport report;
+    CompartmentGraph graph = buildCompartmentGraph(cfg, reg);
+    callGraphPass(graph, report);
+    if (opts.escape)
+        escapePass(cfg, reg, opts.srcRoot, report);
+    policyPass(cfg, graph, report);
+    report.normalize();
+    return report;
+}
+
+} // namespace analysis
+} // namespace flexos

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The boundary auditor: orchestrates the three static-analysis passes
+ * (call-graph, shared-data escape, policy-safety) over one validated
+ * SafetyConfig and returns a normalized AuditReport.
+ *
+ * `tools/boundary_audit` (and `tools/config_lint`, which reuses the
+ * call-graph model) are thin drivers over this entry point; the
+ * explore hook calls it with escape scanning disabled to attach a
+ * hazard score per ConfigPoint.
+ */
+
+#ifndef FLEXOS_ANALYSIS_AUDIT_HH
+#define FLEXOS_ANALYSIS_AUDIT_HH
+
+#include <string>
+
+#include "analysis/report.hh"
+#include "core/config.hh"
+#include "core/library.hh"
+
+namespace flexos {
+namespace analysis {
+
+struct AuditOptions
+{
+    /**
+     * Repository root the registry's file lists resolve against.
+     * Empty means "current working directory".
+     */
+    std::string srcRoot;
+    /** Run the shared-data escape scan (needs source access). */
+    bool escape = true;
+};
+
+/**
+ * Audit one configuration: build the compartment graph, run the
+ * call-graph pass, the escape pass (when enabled), and the policy
+ * pass, then normalize the report. `cfg` must already validate —
+ * callers parse with SafetyConfig::parse(), which throws on
+ * malformed input.
+ */
+AuditReport runAudit(const SafetyConfig &cfg, const LibraryRegistry &reg,
+                     const AuditOptions &opts = {});
+
+} // namespace analysis
+} // namespace flexos
+
+#endif // FLEXOS_ANALYSIS_AUDIT_HH

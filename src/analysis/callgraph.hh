@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Cross-compartment call-graph analysis: the library registry's
+ * static dependencies projected onto a configuration's compartments
+ * and combined with the resolved gate matrix into a deny-aware
+ * transitive reachability model (the static half of FlexOS's
+ * toolchain analysis, paper 3.1).
+ *
+ * The model answers three questions the policy and escape passes and
+ * `tools/config_lint` build on:
+ *
+ *  - which (from, to) compartment pairs carry *static* call edges
+ *    (and through which library -> callee dependency);
+ *  - which compartments are transitively reachable from the default
+ *    (thread-spawning) compartment, with and without `deny:` rules —
+ *    the difference is exactly what a deny ruleset severs, including
+ *    multi-hop forwarding/proxy chains;
+ *  - which compartments an attacker in the net-facing compartment can
+ *    reach through non-denied gates (the audit's attack surface).
+ */
+
+#ifndef FLEXOS_ANALYSIS_CALLGRAPH_HH
+#define FLEXOS_ANALYSIS_CALLGRAPH_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "core/config.hh"
+#include "core/library.hh"
+
+namespace flexos {
+namespace analysis {
+
+/** The compartment-level projection of the static call graph. */
+struct CompartmentGraph
+{
+    /** Compartment names, index order (= SafetyConfig order). */
+    std::vector<std::string> comps;
+
+    int defaultComp = -1;
+    /** Compartment holding a net-facing library, or -1 if none. */
+    int netComp = -1;
+
+    /** One library -> callee dependency behind a static edge. */
+    struct Witness
+    {
+        std::string lib;    ///< caller library
+        std::string callee; ///< callee library
+    };
+
+    /** One cross-compartment static call edge. */
+    struct Edge
+    {
+        int from = -1;
+        int to = -1;
+        /** Library dependencies this edge is the only path for. */
+        std::vector<Witness> witnesses;
+        /** Whether the gate matrix carries `deny: true` for it. */
+        bool denied = false;
+    };
+
+    /** Static edges, ordered by (from, to). */
+    std::vector<Edge> edges;
+
+    /** Row-major [from * n + to]: gate not denied (dynamic calls ok). */
+    std::vector<bool> allowed;
+
+    /** Reachable from defaultComp via static edges, ignoring denies. */
+    std::vector<bool> reachableIgnoringDeny;
+    /** Reachable from defaultComp via non-denied static edges. */
+    std::vector<bool> reachable;
+    /**
+     * Reachable from netComp through *allowed* gates (any non-denied
+     * pair, not just static edges — a compromised compartment can
+     * attempt any crossing). All false when netComp < 0.
+     */
+    std::vector<bool> netReachable;
+
+    std::size_t size() const { return comps.size(); }
+
+    bool
+    edgeAllowed(int from, int to) const
+    {
+        return allowed[static_cast<std::size_t>(from) * comps.size() +
+                       static_cast<std::size_t>(to)];
+    }
+
+    /** The static edge (from, to), or nullptr if none exists. */
+    const Edge *staticEdge(int from, int to) const;
+};
+
+/**
+ * Project the registry's call graph onto cfg's compartments and
+ * resolve reachability against the configuration's gate matrix.
+ * TCB libraries called by a compartment whose mechanism replicates
+ * the kernel stay local and contribute no edge (the same predicate
+ * the image build applies). The config must already validate.
+ */
+CompartmentGraph buildCompartmentGraph(const SafetyConfig &cfg,
+                                       const LibraryRegistry &reg);
+
+/**
+ * The call-graph audit pass. Findings:
+ *
+ *  - `denied-static-edge` (error): a `deny:` rule covers a static
+ *    call edge — the denied gate is the caller's only path to the
+ *    named dependency, so the image build will reject the config.
+ *  - `deny-unreachable-compartment` (warning): the compartment is
+ *    statically reachable from the default compartment, but the deny
+ *    ruleset severs every path to it (including multi-hop chains
+ *    through forwarding/proxy compartments).
+ *  - `dead-compartment` (warning): every inbound gate of a
+ *    non-default compartment is denied — nothing can ever gate into
+ *    it (legal, but suspicious unless it spawns its own threads).
+ *  - `statically-unreachable-compartment` (note): no static call
+ *    path from the default compartment ever existed; crossings into
+ *    it happen only through dynamic edges the registry's call graph
+ *    does not see.
+ */
+void callGraphPass(const CompartmentGraph &graph, AuditReport &report);
+
+} // namespace analysis
+} // namespace flexos
+
+#endif // FLEXOS_ANALYSIS_CALLGRAPH_HH

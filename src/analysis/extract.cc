@@ -1,0 +1,81 @@
+#include "analysis/extract.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace flexos {
+namespace analysis {
+
+std::vector<ConfigBlock>
+rawStringLiterals(const std::string &src)
+{
+    std::vector<ConfigBlock> out;
+    std::size_t pos = 0;
+    std::size_t prevEnd = 0; // end of the previous literal
+    while ((pos = src.find("R\"", pos)) != std::string::npos) {
+        // R"delim( — the delimiter is up to 16 characters of anything
+        // but parentheses, backslash and whitespace (the C++ grammar).
+        std::size_t open = pos + 2;
+        std::size_t d = open;
+        auto delimChar = [&](char c) {
+            return c != '(' && c != ')' && c != '\\' &&
+                   !std::isspace(static_cast<unsigned char>(c));
+        };
+        while (d < src.size() && d - open < 16 && delimChar(src[d]))
+            ++d;
+        if (d >= src.size() || src[d] != '(') {
+            // Not a raw-string literal after all (e.g. `R"x` inside a
+            // comment, or an over-long delimiter): move past the `R"`.
+            pos += 2;
+            continue;
+        }
+        std::string delim = src.substr(open, d - open);
+        std::string closer = ")" + delim + "\"";
+        std::size_t start = d + 1;
+        std::size_t end = src.find(closer, start);
+        if (end == std::string::npos) {
+            pos += 2;
+            continue;
+        }
+        ConfigBlock b;
+        b.text = src.substr(start, end - start);
+        b.line = 1 + static_cast<std::size_t>(
+                         std::count(src.begin(),
+                                    src.begin() +
+                                        static_cast<long>(pos),
+                                    '\n'));
+        // A lint-skip marker inside, or in the ~two lines before, the
+        // literal opts it out of the config smoke checks. The lookback
+        // never crosses a preceding literal — its marker (or payload)
+        // must not bleed onto this one.
+        std::size_t ctx = pos > 160 ? pos - 160 : 0;
+        ctx = std::max(ctx, prevEnd);
+        b.skip = b.text.find("lint-skip") != std::string::npos ||
+                 src.substr(ctx, pos - ctx).find("lint-skip") !=
+                     std::string::npos;
+        out.push_back(std::move(b));
+        pos = end + closer.size();
+        prevEnd = pos;
+    }
+    return out;
+}
+
+bool
+looksLikeConfig(const std::string &text)
+{
+    return text.find("compartments:") != std::string::npos &&
+           text.find("libraries:") != std::string::npos;
+}
+
+std::vector<ConfigBlock>
+extractEmbeddedConfigs(const std::string &src)
+{
+    std::vector<ConfigBlock> out;
+    for (ConfigBlock &b : rawStringLiterals(src))
+        if (looksLikeConfig(b.text) && !b.skip)
+            out.push_back(std::move(b));
+    return out;
+}
+
+} // namespace analysis
+} // namespace flexos

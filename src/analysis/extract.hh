@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Embedded-config extraction: finds every C++ raw-string literal in a
+ * source file that contains a safety configuration (both a
+ * `compartments:` and a `libraries:` section). Shared by
+ * `tools/config_lint` and `tools/boundary_audit`, which run over the
+ * examples and tests in CI.
+ *
+ * Handles the full raw-string grammar — bare `R"( ... )"` as well as
+ * delimited literals `R"cfg( ... )cfg"` — so a `)"` inside the
+ * payload (or a delimiter-carrying literal) cannot silently truncate
+ * or skip a config. Blocks that are intentionally malformed
+ * (rejection tests) opt out with a `lint-skip` marker inside or
+ * immediately before the literal.
+ */
+
+#ifndef FLEXOS_ANALYSIS_EXTRACT_HH
+#define FLEXOS_ANALYSIS_EXTRACT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace flexos {
+namespace analysis {
+
+/** One extracted raw-string literal. */
+struct ConfigBlock
+{
+    std::string text;
+    /** 1-based line of the literal's opening `R"` in the source. */
+    std::size_t line = 0;
+    /** A `lint-skip` marker appeared in or just before the literal. */
+    bool skip = false;
+};
+
+/**
+ * Every raw-string literal in `src` (any delimiter). Literals whose
+ * opening quote cannot be matched to a closing `)delim"` are dropped
+ * (unterminated literals do not compile anyway).
+ */
+std::vector<ConfigBlock> rawStringLiterals(const std::string &src);
+
+/** Whether a literal looks like a safety configuration. */
+bool looksLikeConfig(const std::string &text);
+
+/**
+ * The auditable configs of one source file: raw-string literals that
+ * look like configs and do not carry a `lint-skip` marker.
+ */
+std::vector<ConfigBlock> extractEmbeddedConfigs(const std::string &src);
+
+} // namespace analysis
+} // namespace flexos
+
+#endif // FLEXOS_ANALYSIS_EXTRACT_HH

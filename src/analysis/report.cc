@@ -1,0 +1,408 @@
+#include "analysis/report.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+
+#include "base/logging.hh"
+
+namespace flexos {
+namespace analysis {
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+    case Severity::Note:
+        return "note";
+    case Severity::Warning:
+        return "warning";
+    case Severity::Error:
+        return "error";
+    }
+    panic("unreachable severity");
+}
+
+Severity
+severityFromName(const std::string &name)
+{
+    if (name == "note")
+        return Severity::Note;
+    if (name == "warning")
+        return Severity::Warning;
+    if (name == "error")
+        return Severity::Error;
+    fatal("unknown severity '", name, "'");
+}
+
+bool
+Finding::operator<(const Finding &o) const
+{
+    return std::tie(pass, code, from, to, library, file, line, datum,
+                    message) < std::tie(o.pass, o.code, o.from, o.to,
+                                        o.library, o.file, o.line,
+                                        o.datum, o.message);
+}
+
+void
+AuditReport::normalize()
+{
+    std::sort(findings.begin(), findings.end());
+    std::sort(suggestedDeny.begin(), suggestedDeny.end());
+}
+
+std::size_t
+AuditReport::countOf(Severity s) const
+{
+    std::size_t n = 0;
+    for (const Finding &f : findings)
+        n += f.severity == s;
+    return n;
+}
+
+int
+AuditReport::score() const
+{
+    int total = 0;
+    for (const Finding &f : findings)
+        switch (f.severity) {
+        case Severity::Error:
+            total += errorWeight;
+            break;
+        case Severity::Warning:
+            total += warningWeight;
+            break;
+        case Severity::Note:
+            total += noteWeight;
+            break;
+        }
+    return total;
+}
+
+std::string
+AuditReport::toText() const
+{
+    std::ostringstream oss;
+    oss << "== " << label << "\n";
+    for (const Finding &f : findings) {
+        oss << severityName(f.severity) << ": [" << f.pass << "/"
+            << f.code << "]";
+        if (!f.from.empty() && !f.to.empty())
+            oss << " " << f.from << " -> " << f.to << ":";
+        else if (!f.to.empty())
+            oss << " " << f.to << ":"; // compartment-anchored finding
+        oss << " " << f.message;
+        if (!f.file.empty()) {
+            oss << " (" << f.file;
+            if (f.line)
+                oss << ":" << f.line;
+            oss << ")";
+        }
+        oss << "\n";
+    }
+    if (!suggestedDeny.empty()) {
+        oss << "suggested deny:";
+        bool first = true;
+        for (const auto &[f, t] : suggestedDeny) {
+            oss << (first ? " " : ", ") << f << " -> " << t;
+            first = false;
+        }
+        oss << "\n";
+    }
+    oss << "score: " << score() << " (" << countOf(Severity::Error)
+        << " error(s), " << countOf(Severity::Warning)
+        << " warning(s), " << countOf(Severity::Note) << " note(s))\n";
+    return oss.str();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+AuditReport::toJson() const
+{
+    std::ostringstream oss;
+    oss << "{\"config\": \"" << jsonEscape(label) << "\", ";
+    oss << "\"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        if (i)
+            oss << ", ";
+        oss << "{\"pass\": \"" << jsonEscape(f.pass) << "\", \"code\": \""
+            << jsonEscape(f.code) << "\", \"severity\": \""
+            << severityName(f.severity) << "\", \"message\": \""
+            << jsonEscape(f.message) << "\"";
+        if (!f.from.empty())
+            oss << ", \"from\": \"" << jsonEscape(f.from) << "\"";
+        if (!f.to.empty())
+            oss << ", \"to\": \"" << jsonEscape(f.to) << "\"";
+        if (!f.library.empty())
+            oss << ", \"library\": \"" << jsonEscape(f.library) << "\"";
+        if (!f.datum.empty())
+            oss << ", \"datum\": \"" << jsonEscape(f.datum) << "\"";
+        if (!f.file.empty())
+            oss << ", \"file\": \"" << jsonEscape(f.file) << "\"";
+        if (f.line)
+            oss << ", \"line\": " << f.line;
+        oss << "}";
+    }
+    oss << "], \"suggested_deny\": [";
+    for (std::size_t i = 0; i < suggestedDeny.size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << "{\"from\": \"" << jsonEscape(suggestedDeny[i].first)
+            << "\", \"to\": \"" << jsonEscape(suggestedDeny[i].second)
+            << "\"}";
+    }
+    oss << "], \"score\": " << score() << "}";
+    return oss.str();
+}
+
+namespace {
+
+/**
+ * Minimal recursive-descent JSON reader — just enough to parse what
+ * AuditReport::toJson emits (objects, arrays, strings, integers,
+ * bools/null for forward compatibility). Fatal on malformed input.
+ */
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : src(text) {}
+
+    void
+    skipWs()
+    {
+        while (pos < src.size() &&
+               std::isspace(static_cast<unsigned char>(src[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        fatal_if(pos >= src.size(), "json: unexpected end of input");
+        return src[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        fatal_if(peek() != c, "json: expected '", c, "' at offset ",
+                 pos);
+        ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (peek() == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (pos < src.size() && src[pos] != '"') {
+            char c = src[pos++];
+            if (c == '\\') {
+                fatal_if(pos >= src.size(), "json: dangling escape");
+                char e = src[pos++];
+                switch (e) {
+                case 'n':
+                    out += '\n';
+                    break;
+                case 't':
+                    out += '\t';
+                    break;
+                case 'u': {
+                    fatal_if(pos + 4 > src.size(),
+                             "json: truncated \\u escape");
+                    out += static_cast<char>(
+                        std::stoi(src.substr(pos, 4), nullptr, 16));
+                    pos += 4;
+                    break;
+                }
+                default:
+                    out += e; // \" \\ \/ and friends
+                }
+            } else {
+                out += c;
+            }
+        }
+        fatal_if(pos >= src.size(), "json: unterminated string");
+        ++pos; // closing quote
+        return out;
+    }
+
+    std::uint64_t
+    number()
+    {
+        skipWs();
+        std::size_t start = pos;
+        while (pos < src.size() &&
+               (std::isdigit(static_cast<unsigned char>(src[pos])) ||
+                src[pos] == '-'))
+            ++pos;
+        fatal_if(start == pos, "json: expected number at offset ", pos);
+        return std::stoull(src.substr(start, pos - start));
+    }
+
+    /** Skip one value of any type (unknown keys stay ignorable). */
+    void
+    skipValue()
+    {
+        char c = peek();
+        if (c == '"') {
+            string();
+        } else if (c == '{') {
+            expect('{');
+            if (!consume('}')) {
+                do {
+                    string();
+                    expect(':');
+                    skipValue();
+                } while (consume(','));
+                expect('}');
+            }
+        } else if (c == '[') {
+            expect('[');
+            if (!consume(']')) {
+                do {
+                    skipValue();
+                } while (consume(','));
+                expect(']');
+            }
+        } else {
+            // number / true / false / null
+            while (pos < src.size() && src[pos] != ',' &&
+                   src[pos] != '}' && src[pos] != ']')
+                ++pos;
+        }
+    }
+
+  private:
+    const std::string &src;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+AuditReport
+AuditReport::fromJson(const std::string &json)
+{
+    AuditReport report;
+    JsonReader r(json);
+    r.expect('{');
+    if (r.consume('}'))
+        return report;
+    do {
+        std::string key = r.string();
+        r.expect(':');
+        if (key == "config") {
+            report.label = r.string();
+        } else if (key == "findings") {
+            r.expect('[');
+            if (!r.consume(']')) {
+                do {
+                    Finding f;
+                    r.expect('{');
+                    do {
+                        std::string fk = r.string();
+                        r.expect(':');
+                        if (fk == "pass")
+                            f.pass = r.string();
+                        else if (fk == "code")
+                            f.code = r.string();
+                        else if (fk == "severity")
+                            f.severity = severityFromName(r.string());
+                        else if (fk == "message")
+                            f.message = r.string();
+                        else if (fk == "from")
+                            f.from = r.string();
+                        else if (fk == "to")
+                            f.to = r.string();
+                        else if (fk == "library")
+                            f.library = r.string();
+                        else if (fk == "datum")
+                            f.datum = r.string();
+                        else if (fk == "file")
+                            f.file = r.string();
+                        else if (fk == "line")
+                            f.line = static_cast<std::size_t>(r.number());
+                        else
+                            r.skipValue();
+                    } while (r.consume(','));
+                    r.expect('}');
+                    report.findings.push_back(std::move(f));
+                } while (r.consume(','));
+                r.expect(']');
+            }
+        } else if (key == "suggested_deny") {
+            r.expect('[');
+            if (!r.consume(']')) {
+                do {
+                    std::string from, to;
+                    r.expect('{');
+                    do {
+                        std::string dk = r.string();
+                        r.expect(':');
+                        if (dk == "from")
+                            from = r.string();
+                        else if (dk == "to")
+                            to = r.string();
+                        else
+                            r.skipValue();
+                    } while (r.consume(','));
+                    r.expect('}');
+                    report.suggestedDeny.emplace_back(std::move(from),
+                                                      std::move(to));
+                } while (r.consume(','));
+                r.expect(']');
+            }
+        } else {
+            r.skipValue(); // "score" is derived; ignore unknown keys
+        }
+    } while (r.consume(','));
+    r.expect('}');
+    return report;
+}
+
+} // namespace analysis
+} // namespace flexos

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The example untrusted parser (paper 3.0): a simulated libopenjpg
+ * image decoder. The examples isolate this library in its own
+ * compartment and plant exploits in it (examples/isolate_vulnerable);
+ * this translation unit gives the library a real source file for the
+ * static analyses to walk.
+ *
+ * The porting is deliberately incomplete: `lastDecodeState` is a
+ * mutable global that is neither registered shared in the library
+ * registry nor `flexos: dss`/`flexos: shared`-annotated, so a
+ * compartmentalized image leaks it across the boundary — the exact
+ * shared-data escape the boundary auditor (tools/boundary_audit)
+ * reports as `escaping-shared-datum`. Do not annotate it: it is the
+ * seeded violation the audit tests and docs build on.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flexos {
+namespace openjpg {
+
+/** Decoded-image summary the simulated decoder produces. */
+struct DecodeResult
+{
+    std::uint32_t width = 0;
+    std::uint32_t height = 0;
+    std::uint32_t checksum = 0;
+    bool ok = false;
+};
+
+namespace {
+
+/** Decodes attempted since boot (a ported, registered counter). */
+std::uint64_t decodeCalls = 0; // flexos: shared
+
+/**
+ * Scratch state of the most recent decode. Mutable, unregistered,
+ * unannotated: this is the datum that escapes the compartment.
+ */
+DecodeResult lastDecodeState;
+
+} // namespace
+
+/**
+ * Simulated decode_image entry point: parse a header, fold the
+ * payload into a checksum. Matches the registry's entry point for
+ * libopenjpg; examples drive it through Image::gate.
+ */
+DecodeResult
+decodeImage(const std::uint8_t *data, std::size_t len)
+{
+    ++decodeCalls;
+    DecodeResult r;
+    if (len < 8 || data == nullptr) {
+        lastDecodeState = r;
+        return r;
+    }
+    r.width = static_cast<std::uint32_t>(data[0]) |
+              static_cast<std::uint32_t>(data[1]) << 8;
+    r.height = static_cast<std::uint32_t>(data[2]) |
+               static_cast<std::uint32_t>(data[3]) << 8;
+    std::uint32_t sum = 0;
+    for (std::size_t i = 4; i < len; ++i)
+        sum = sum * 131 + data[i];
+    r.checksum = sum;
+    r.ok = r.width > 0 && r.height > 0;
+    lastDecodeState = r;
+    return r;
+}
+
+/** The escape in action: any compartment can read the last result. */
+const DecodeResult &
+lastDecode()
+{
+    return lastDecodeState;
+}
+
+/** Total decode_image invocations (the registered counter). */
+std::uint64_t
+decodeCount()
+{
+    return decodeCalls;
+}
+
+} // namespace openjpg
+} // namespace flexos

@@ -1169,6 +1169,13 @@ configReferenceMarkdown()
     };
     for (const auto &e : elides)
         oss << "| `" << elideName(e.e) << "` | " << e.doc << " |\n";
+
+    oss << "\n## Checking a configuration\n\n";
+    oss << "`tools/config_lint` parses and validates embedded configs "
+           "and runs the static\ncall-graph pass; `tools/boundary_audit` "
+           "adds the shared-data escape and\npolicy-safety audits and "
+           "suggests a minimal `deny:` ruleset — see\n"
+           "[static-analysis.md](static-analysis.md).\n";
     return oss.str();
 }
 

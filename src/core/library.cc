@@ -51,6 +51,8 @@ LibraryRegistry::standard()
         .tcb = true,
         .entryPoints = {"malloc", "free", "calloc", "realloc"},
         .callees = {},
+        .files = {"src/ukalloc/allocator.cc", "src/ukalloc/tlsf.cc",
+                  "src/ukalloc/lea.cc"},
     });
     // The low-level context-switch primitive is TCB (paper 3.3), but the
     // uksched micro-library itself (run queues, sleeping, sync) is an
@@ -62,6 +64,9 @@ LibraryRegistry::standard()
                         "mutex_lock", "mutex_unlock", "sem_post",
                         "sem_wait"},
         .callees = {"ukalloc", "uktime"},
+        .files = {"src/uksched/scheduler.cc"},
+        .sharedData = {"activeScheduler", "hostStackBottom",
+                       "hostStackSize", "schedFakeStack"},
         .sharedVars = 5,
         .patchAdded = 48,
         .patchRemoved = 8,
@@ -73,6 +78,7 @@ LibraryRegistry::standard()
         .entryPoints = {"clock_gettime", "nanosleep", "timer_arm",
                         "timer_cancel"},
         .callees = {},
+        .files = {"src/uktime/clock.hh"},
         .sharedVars = 0,
         .patchAdded = 10,
         .patchRemoved = 9,
@@ -83,6 +89,9 @@ LibraryRegistry::standard()
                         "send", "recv", "close", "poll", "rx_burst",
                         "timer_poll"},
         .callees = {"ukalloc", "uksched", "uktime"},
+        .files = {"src/net/tcp.cc", "src/net/nic.cc",
+                  "src/net/proto.cc"},
+        .netFacing = true,
         .sharedVars = 23,
         .patchAdded = 542,
         .patchRemoved = 275,
@@ -93,6 +102,7 @@ LibraryRegistry::standard()
                         "pwrite", "lseek", "fsync", "ftruncate", "unlink",
                         "mkdir", "rmdir", "stat", "readdir"},
         .callees = {"ukalloc", "uksched"},
+        .files = {"src/vfs/vfs.cc", "src/vfs/ramfs.cc"},
         .sharedVars = 12,
         .patchAdded = 148,
         .patchRemoved = 37,
@@ -102,6 +112,7 @@ LibraryRegistry::standard()
         .entryPoints = {"fprintf", "snprintf", "malloc", "free", "memcpy",
                         "strcmp", "socket_call", "fs_call", "time_call"},
         .callees = {"lwip", "vfscore", "uktime", "ukalloc", "uksched"},
+        .files = {"src/apps/libc.cc"},
         .sharedVars = 0,
         .patchAdded = 0,
         .patchRemoved = 0,
@@ -112,6 +123,7 @@ LibraryRegistry::standard()
         .name = "libredis",
         .entryPoints = {"redis_main", "redis_handle_conn"},
         .callees = {"newlib", "lwip", "uksched"},
+        .files = {"src/apps/redis.cc"},
         .sharedVars = 16,
         .patchAdded = 279,
         .patchRemoved = 90,
@@ -120,6 +132,7 @@ LibraryRegistry::standard()
         .name = "libnginx",
         .entryPoints = {"nginx_main", "nginx_handle_conn"},
         .callees = {"newlib", "lwip", "vfscore", "uksched"},
+        .files = {"src/apps/http.cc"},
         .sharedVars = 36,
         .patchAdded = 470,
         .patchRemoved = 85,
@@ -128,6 +141,7 @@ LibraryRegistry::standard()
         .name = "libsqlite",
         .entryPoints = {"sqlite_exec", "sqlite_open", "sqlite_close"},
         .callees = {"newlib", "vfscore", "uktime", "uksched"},
+        .files = {"src/apps/minisql.cc"},
         .sharedVars = 24,
         .patchAdded = 199,
         .patchRemoved = 145,
@@ -136,6 +150,7 @@ LibraryRegistry::standard()
         .name = "libiperf",
         .entryPoints = {"iperf_server", "iperf_client"},
         .callees = {"newlib", "lwip", "uksched"},
+        .files = {"src/apps/iperf.cc"},
         .sharedVars = 4,
         .patchAdded = 15,
         .patchRemoved = 14,
@@ -144,6 +159,7 @@ LibraryRegistry::standard()
         .name = "libopenjpg", // example untrusted parser library (3.0)
         .entryPoints = {"decode_image"},
         .callees = {"newlib"},
+        .files = {"src/apps/openjpg.cc"},
         .sharedVars = 2,
         .patchAdded = 31,
         .patchRemoved = 9,

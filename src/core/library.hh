@@ -39,6 +39,28 @@ struct LibraryInfo
     /** Libraries this one calls (static call-graph edges). */
     std::set<std::string> callees;
 
+    /**
+     * Repo-relative C++ sources implementing the library — the file
+     * list the shared-data escape scanner (flexos::analysis) walks,
+     * playing the role of the Coccinelle input set in paper 3.1.
+     */
+    std::vector<std::string> files;
+
+    /**
+     * Whether the library consumes external (network) input. The
+     * compartment holding a net-facing library is the attacker-facing
+     * root the boundary auditor computes reachability from.
+     */
+    bool netFacing = false;
+
+    /**
+     * Registered shared variables: globals the port explicitly
+     * declared shared (the counted shared vars of Table 1). The
+     * escape scanner classifies these as registered-shared; mutable
+     * globals that are neither registered nor DSS-annotated escape.
+     */
+    std::set<std::string> sharedData;
+
     /** @name Porting metadata (Table 1). @{ */
     int sharedVars = 0;
     int patchAdded = 0;

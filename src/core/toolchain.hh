@@ -69,6 +69,10 @@ class Toolchain
 
     const BuildReport &report() const { return lastReport; }
 
+    /** The library registry the toolchain builds against (the same
+     *  registry static analyses must resolve call edges from). */
+    const LibraryRegistry &registry() const { return reg; }
+
   private:
     const LibraryRegistry &reg;
     BuildReport lastReport;

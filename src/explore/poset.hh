@@ -101,6 +101,15 @@ struct ConfigPoint
     /** Measured performance (filled by the explorer); higher=faster. */
     double perf = 0;
 
+    /**
+     * Static boundary-audit hazard score of the materialized config
+     * (flexos::analysis, call-graph + policy passes; lower = cleaner),
+     * or -1 before wayfinder::attachAuditScore() fills it. Like perf
+     * this is a measurement label, not a safety dimension —
+     * compareSafety ignores it; sweeps plot it against perf instead.
+     */
+    int auditScore = -1;
+
     /** Number of distinct compartments in the partition. */
     int compartments() const;
 };

@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/audit.hh"
 #include "apps/deploy.hh"
 #include "apps/http.hh"
 #include "apps/redis.hh"
@@ -584,6 +585,22 @@ pointLabel(const ConfigPoint &point, const std::string &appLib)
                 : point.elided == 1 ? "validate"
                                     : "scrub");
     return oss.str();
+}
+
+int
+auditScore(const ConfigPoint &point, const std::string &appLib)
+{
+    static const LibraryRegistry reg = LibraryRegistry::standard();
+    analysis::AuditOptions opts;
+    opts.escape = false;
+    return analysis::runAudit(toSafetyConfig(point, appLib), reg, opts)
+        .score();
+}
+
+void
+attachAuditScore(ConfigPoint &point, const std::string &appLib)
+{
+    point.auditScore = auditScore(point, appLib);
 }
 
 double

@@ -157,6 +157,18 @@ leastPrivilegeSpace(const std::string &appLib = "libredis");
 SafetyConfig toSafetyConfig(const ConfigPoint &point,
                             const std::string &appLib);
 
+/**
+ * Static boundary-audit hazard score of a sweep point: materializes
+ * it via toSafetyConfig and runs the flexos::analysis call-graph and
+ * policy passes (no shared-data escape scan — sweeps run far from the
+ * source tree and the registry's sources do not vary per point).
+ * Lower is cleaner; see flexos::analysis severity weights.
+ */
+int auditScore(const ConfigPoint &point, const std::string &appLib);
+
+/** Fill point.auditScore (see auditScore()). */
+void attachAuditScore(ConfigPoint &point, const std::string &appLib);
+
 /** Measured Redis GET throughput (req/s) for a configuration. */
 double measureRedis(const ConfigPoint &point, std::uint64_t requests);
 

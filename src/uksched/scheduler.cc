@@ -26,14 +26,14 @@ namespace flexos {
 namespace {
 
 /** Scheduler whose thread is currently starting (single host thread). */
-Scheduler *activeScheduler = nullptr;
+Scheduler *activeScheduler = nullptr; // flexos: shared
 
 #ifdef FLEXOS_ASAN_FIBERS
 /** Host (scheduler) stack bounds, learned on the first fiber entry. */
-const void *hostStackBottom = nullptr;
-std::size_t hostStackSize = 0;
+const void *hostStackBottom = nullptr; // flexos: shared
+std::size_t hostStackSize = 0;         // flexos: shared
 /** The scheduler context's saved ASan fake stack. */
-void *schedFakeStack = nullptr;
+void *schedFakeStack = nullptr; // flexos: shared
 
 void
 asanEnterFiber(void *fiberFakeStack)

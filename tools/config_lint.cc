@@ -10,151 +10,51 @@
  * Blocks that are intentionally malformed (rejection tests) opt out
  * with a `lint-skip` marker inside or immediately before the literal.
  *
- * On top of parse + validate, the lint runs a reachability pass over
- * `deny:` boundary rules: a denied edge that is a compartment's only
- * path to one of its static dependencies (the image build will reject
- * it), and a compartment denied from every other compartment (legal
- * but suspicious — nothing can ever call into it), are reported as
- * warnings.
+ * On top of parse + validate, the lint runs the flexos::analysis
+ * call-graph pass and reports its warning-or-worse findings: denied
+ * static-dependency edges (the image build will reject the config),
+ * compartments the deny ruleset severs every transitive path to
+ * (including multi-hop forwarding chains), and compartments denied
+ * from everywhere. The deeper per-boundary policy and shared-data
+ * audits live in `tools/boundary_audit`.
  */
 
-#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
-#include <vector>
 
-#include "core/backend.hh"
+#include "analysis/callgraph.hh"
+#include "analysis/extract.hh"
 #include "core/toolchain.hh"
 
 using namespace flexos;
 
 namespace {
 
-struct Block
-{
-    std::string text;
-    std::size_t line = 0;
-};
-
-/** All R"( ... )" raw-string literals in a source file. */
-std::vector<Block>
-rawStrings(const std::string &src)
-{
-    std::vector<Block> out;
-    std::size_t pos = 0;
-    while ((pos = src.find("R\"(", pos)) != std::string::npos) {
-        std::size_t start = pos + 3;
-        std::size_t end = src.find(")\"", start);
-        if (end == std::string::npos)
-            break;
-        Block b;
-        b.text = src.substr(start, end - start);
-        b.line = 1 + std::count(src.begin(),
-                                src.begin() + static_cast<long>(pos),
-                                '\n');
-        // A lint-skip marker just before the literal opts it out too.
-        std::size_t ctx = pos > 160 ? pos - 160 : 0;
-        if (src.substr(ctx, pos - ctx).find("lint-skip") !=
-            std::string::npos)
-            b.text += "\n# lint-skip\n";
-        out.push_back(std::move(b));
-        pos = end + 2;
-    }
-    return out;
-}
-
-bool
-looksLikeConfig(const std::string &s)
-{
-    return s.find("compartments:") != std::string::npos &&
-           s.find("libraries:") != std::string::npos;
-}
-
 /**
- * Least-privilege reachability lint. The direct call is a library's
- * *only* path to a dependency (there is no transitive routing through
- * other compartments), so a deny rule covering a statically needed
- * edge starves the caller; flag it before the image build rejects it.
- * Also flag compartments denied from everywhere (dead code unless
- * they spawn their own threads).
+ * Print the call-graph pass findings of one config in the classic
+ * lint format.
  *
- * @return number of warnings printed.
+ * @return number of warning-or-worse findings.
  */
 int
-lintDenyReachability(const char *file, std::size_t line,
-                     const SafetyConfig &cfg, const LibraryRegistry &reg)
+lintCallGraph(const char *file, std::size_t line, const SafetyConfig &cfg,
+              const LibraryRegistry &reg)
 {
-    bool anyDeny = false;
-    for (const BoundaryRule &r : cfg.boundaries)
-        anyDeny = anyDeny || (r.deny && *r.deny);
-    if (!anyDeny)
-        return 0;
+    analysis::AuditReport report;
+    analysis::CompartmentGraph graph =
+        analysis::buildCompartmentGraph(cfg, reg);
+    analysis::callGraphPass(graph, report);
+    report.normalize();
 
     int warnings = 0;
-    GateMatrix m = GateMatrix::build(cfg);
-
-    // 1) Denied static-dependency edges: the compartment's only path
-    // to the callee library is the direct gate the rule forbids.
-    for (const auto &[lib, compName] : cfg.libraries) {
-        int from = cfg.compartmentIndex(compName);
-        if (!reg.contains(lib))
+    for (const analysis::Finding &f : report.findings) {
+        if (f.severity == analysis::Severity::Note)
             continue;
-        for (const std::string &callee : reg.get(lib).callees) {
-            int to = -1;
-            for (const auto &[other, oc] : cfg.libraries)
-                if (other == callee)
-                    to = cfg.compartmentIndex(oc);
-            if (to < 0 || to == from)
-                continue;
-            // Callers on a TCB-replicating mechanism keep TCB
-            // libraries local and never cross this edge — ask the
-            // backend itself (the same predicate the image build
-            // uses) rather than hardcoding which mechanisms do.
-            Mechanism callerMech =
-                cfg.compartments[static_cast<std::size_t>(from)]
-                    .mechanism;
-            if (reg.get(callee).tcb &&
-                makeBackend(callerMech)->replicatesTcb())
-                continue;
-            if (m.at(from, to).deny) {
-                std::fprintf(stderr,
-                             "config-lint: %s:%zu: warning: boundary "
-                             "%s -> %s is denied but it is %s's only "
-                             "path to its dependency %s (image build "
-                             "will reject this config)\n",
-                             file, line, compName.c_str(),
-                             cfg.compartments[static_cast<std::size_t>(
-                                                  to)]
-                                 .name.c_str(),
-                             lib.c_str(), callee.c_str());
-                ++warnings;
-            }
-        }
-    }
-
-    // 2) Compartments unreachable from every other compartment. The
-    // default compartment is exempt: threads start there, so denying
-    // all inbound edges is the normal least-privilege posture.
-    std::size_t n = cfg.compartments.size();
-    for (std::size_t t = 0; t < n; ++t) {
-        if (cfg.compartments[t].isDefault)
-            continue;
-        bool reachable = n == 1;
-        for (std::size_t f = 0; f < n && !reachable; ++f)
-            reachable = f != t && !m.at(static_cast<int>(f),
-                                        static_cast<int>(t))
-                                       .deny;
-        if (!reachable) {
-            std::fprintf(stderr,
-                         "config-lint: %s:%zu: warning: compartment "
-                         "'%s' is denied from every other compartment "
-                         "— nothing can ever gate into it\n",
-                         file, line,
-                         cfg.compartments[t].name.c_str());
-            ++warnings;
-        }
+        ++warnings;
+        std::fprintf(stderr, "config-lint: %s:%zu: warning: %s\n", file,
+                     line, f.message.c_str());
     }
     return warnings;
 }
@@ -177,16 +77,13 @@ main(int argc, char **argv)
         }
         std::ostringstream ss;
         ss << in.rdbuf();
-        for (const Block &b : rawStrings(ss.str())) {
-            if (!looksLikeConfig(b.text) ||
-                b.text.find("lint-skip") != std::string::npos)
-                continue;
+        for (const analysis::ConfigBlock &b :
+             analysis::extractEmbeddedConfigs(ss.str())) {
             ++checked;
             try {
                 SafetyConfig cfg = SafetyConfig::parse(b.text);
                 tc.validate(cfg);
-                warned +=
-                    lintDenyReachability(argv[i], b.line, cfg, reg);
+                warned += lintCallGraph(argv[i], b.line, cfg, reg);
             } catch (const std::exception &e) {
                 ++failed;
                 std::fprintf(stderr, "config-lint: %s:%zu: %s\n",

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Regenerate tests/golden/boundary_audit.txt — the golden report the
+# `boundary_audit_golden` CTest (and the CI static-analysis job) diffs
+# against. Run from anywhere after building:
+#   tools/update_boundary_audit_golden.sh [build-dir]
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$root/build"}
+
+if [ ! -x "$build/boundary_audit" ]; then
+    echo "update-golden: $build/boundary_audit not built" >&2
+    exit 2
+fi
+
+cd "$root"
+# Same input set and order as cmake/CheckBoundaryAudit.cmake: every
+# example and test source, sorted, repo-relative.
+inputs=$(ls examples/*.cpp tests/*.cc | LC_ALL=C sort)
+# shellcheck disable=SC2086
+"$build/boundary_audit" --exit-zero --src-root "$root" $inputs \
+    > tests/golden/boundary_audit.txt
+echo "update-golden: wrote tests/golden/boundary_audit.txt"
