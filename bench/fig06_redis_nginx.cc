@@ -86,6 +86,8 @@ struct Sample
     unsigned cores;
     int batch;
     double reqPerSec;
+    /** Static boundary-audit hazard score (lower = cleaner). */
+    int audit;
 };
 
 /**
@@ -117,9 +119,11 @@ coresSweep()
             p.sharingRank = 1;   // DSS
             p.cores = static_cast<int>(cores);
             out.push_back({"redis", pick.name, cores, 1,
-                           wayfinder::measureRedis(p, 300)});
+                           wayfinder::measureRedis(p, 300),
+                           wayfinder::auditScore(p, "libredis")});
             out.push_back({"nginx", pick.name, cores, 1,
-                           wayfinder::measureNginx(p, 200)});
+                           wayfinder::measureNginx(p, 200),
+                           wayfinder::auditScore(p, "libnginx")});
         }
     }
     // Batched vs unbatched across the lwip boundary: the poller
@@ -134,7 +138,8 @@ coresSweep()
             p.cores = static_cast<int>(cores);
             p.gateBatch = batch;
             out.push_back({"redis", "C lwip split", cores, batch,
-                           wayfinder::measureRedis(p, 300)});
+                           wayfinder::measureRedis(p, 300),
+                           wayfinder::auditScore(p, "libredis")});
         }
     }
     return out;
@@ -145,12 +150,12 @@ coresTable(const std::vector<Sample> &samples)
 {
     std::printf("\n=== Multi-core sweep: req/s vs cores (RSS), plus "
                 "batch: 8 on the lwip boundary ===\n");
-    std::printf("%-7s %-26s %-7s %-7s %12s\n", "app", "partition",
-                "cores", "batch", "req/s");
+    std::printf("%-7s %-26s %-7s %-7s %12s %7s\n", "app", "partition",
+                "cores", "batch", "req/s", "audit");
     for (const Sample &s : samples)
-        std::printf("%-7s %-26s %-7u %-7d %11.1fk\n", s.app,
+        std::printf("%-7s %-26s %-7u %-7d %11.1fk %7d\n", s.app,
                     s.partition.c_str(), s.cores, s.batch,
-                    s.reqPerSec / 1000.0);
+                    s.reqPerSec / 1000.0, s.audit);
 }
 
 /**
@@ -175,9 +180,10 @@ emitJson(const char *path, const std::vector<Sample> &samples)
         std::fprintf(f,
                      "    {\"app\": \"%s\", \"partition\": \"%s\", "
                      "\"cores\": %u, \"batch\": %d, "
-                     "\"req_per_sec\": %.1f}%s\n",
+                     "\"req_per_sec\": %.1f, \"audit_score\": %d}%s\n",
                      s.app, s.partition.c_str(), s.cores, s.batch,
-                     s.reqPerSec, i + 1 < samples.size() ? "," : "");
+                     s.reqPerSec, s.audit,
+                     i + 1 < samples.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

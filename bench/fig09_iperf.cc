@@ -33,6 +33,7 @@
 
 #include "apps/deploy.hh"
 #include "apps/iperf.hh"
+#include "explore/wayfinder.hh"
 
 using namespace flexos;
 
@@ -181,13 +182,21 @@ emitJson(const char *path, const std::vector<unsigned> &flowCounts,
         std::fprintf(stderr, "fig09_iperf: cannot write %s\n", path);
         std::exit(2);
     }
+    // The audit-score axis: the static boundary-audit hazard score of
+    // the swept configuration (one config here, so one top-level
+    // field; lower = cleaner boundaries).
+    ConfigPoint nonePt;
+    nonePt.partition = {0, 0, 0, 0};
+    nonePt.hardening.assign(4, 0);
+    nonePt.mechanismRank = 0; // none
     std::fprintf(f, "{\n"
                     "  \"bench\": \"fig09_iperf_multiflow\",\n"
                     "  \"config\": \"flexos-none\",\n"
+                    "  \"audit_score\": %d,\n"
                     "  \"buf_bytes\": %zu,\n"
                     "  \"bytes_per_flow\": %llu,\n"
                     "  \"results\": [\n",
-                 multiBufSize,
+                 wayfinder::auditScore(nonePt, "libiperf"), multiBufSize,
                  static_cast<unsigned long long>(multiBytesPerFlow));
     bool first = true;
     for (unsigned flows : flowCounts) {

@@ -75,6 +75,23 @@ Deployment::init(SafetyConfig cfg, const DeployOptions &opts)
     }
 
     libcApi = std::make_unique<LibcApi>(*img, serverNet.get(), fs.get());
+
+    // The control plane is opt-in: a `controller:` section builds one,
+    // wired to the server NIC's RX backlog (the batch-width rule's
+    // probe). It starts sampling with the pollers in start().
+    if (img->config().controller) {
+        controller = std::make_unique<PolicyController>(
+            *img, *img->config().controller);
+        if (serverNet) {
+            NetStack *net = serverNet.get();
+            controller->queueDepthProbe = [net] {
+                std::size_t depth = 0;
+                for (std::size_t q = 0; q < net->rxQueueCount(); ++q)
+                    depth = std::max(depth, net->rxBacklog(q));
+                return static_cast<std::uint64_t>(depth);
+            };
+        }
+    }
 }
 
 Deployment::~Deployment()
@@ -88,6 +105,7 @@ Deployment::~Deployment()
     // Teardown order matters: the filesystem returns its blocks to the
     // vfscore compartment's allocator, so it must die before the image;
     // the image (backend threads, regions) before scheduler and scope.
+    controller.reset();
     libcApi.reset();
     fs.reset();
     fsRoot.reset();
@@ -121,24 +139,38 @@ Deployment::start()
     // TCP ordering is unchanged; an empty burst still parks the
     // poller on the queue's interrupt line (the NAPI idiom).
     std::uint64_t rxBatch = 1;
+    bool rxAdaptive = false;
+    int rxFrom = 0, rxTo = 0;
     if (lwipInImage) {
-        int from = static_cast<int>(img->config().defaultCompartment());
-        int to = img->compartmentIndexOf("lwip");
-        if (from != to)
-            rxBatch = std::max<std::uint64_t>(
-                img->policyFor(from, to).batch, 1);
+        rxFrom = static_cast<int>(img->config().defaultCompartment());
+        rxTo = img->compartmentIndexOf("lwip");
+        if (rxFrom != rxTo) {
+            const GatePolicy &pol = img->policyFor(rxFrom, rxTo);
+            rxBatch = std::max<std::uint64_t>(pol.batch, 1);
+            // An adaptive RX boundary under a controller may have its
+            // `batch:` width widened between epochs: take the batched
+            // poller even at width 1 (vcycle-identical there) so the
+            // widened width takes effect without re-plumbing pollers.
+            rxAdaptive = pol.adaptive && controller != nullptr;
+        }
     }
 
     std::size_t queues = serverNet->rxQueueCount();
     for (std::size_t q = 0; q < queues; ++q) {
         std::function<void()> pollBody;
-        if (rxBatch > 1) {
-            pollBody = [this, q, rxBatch] {
+        if (rxBatch > 1 || rxAdaptive) {
+            int from = rxFrom, to = rxTo;
+            pollBody = [this, q, from, to] {
                 std::vector<std::function<void()>> bodies;
                 std::vector<NetBuf> burst;
                 while (!stopPollers) {
-                    burst = serverNet->fetchBurst(
-                        q, static_cast<std::size_t>(rxBatch));
+                    // Re-read the boundary's width every burst: the
+                    // controller's epoch swaps retune it online
+                    // (NAPI-style widening under backlog).
+                    auto width = static_cast<std::size_t>(
+                        std::max<std::uint64_t>(
+                            img->policyFor(from, to).batch, 1));
+                    burst = serverNet->fetchBurst(q, width);
                     bool worked = !burst.empty();
                     if (!burst.empty()) {
                         bodies.clear();
@@ -176,7 +208,7 @@ Deployment::start()
         std::string name = queues > 1
                                ? "lwip-poll-q" + std::to_string(q)
                                : "lwip-poll";
-        Thread *t = lwipInImage && rxBatch == 1
+        Thread *t = lwipInImage && rxBatch == 1 && !rxAdaptive
                         ? img->spawnIn("lwip", name, pollBody)
                         : sched->spawn(name, pollBody);
         sched->pin(t, static_cast<int>(q % mach->coreCount()));
@@ -195,6 +227,8 @@ Deployment::start()
         }
     });
     cp->freeRunning = true;
+    if (controller)
+        controller->start();
     pollersRunning = true;
 }
 
@@ -203,6 +237,8 @@ Deployment::stop()
 {
     if (!pollersRunning)
         return;
+    if (controller)
+        controller->stop();
     stopPollers = true;
     // Kick blocked pollers and give everyone a chance to observe the
     // flag and exit.

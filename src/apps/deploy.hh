@@ -15,6 +15,7 @@
 
 #include "apps/libc.hh"
 #include "core/toolchain.hh"
+#include "runtime/controller.hh"
 #include "ukalloc/lea.hh"
 #include "vfs/ramfs.hh"
 
@@ -71,6 +72,13 @@ class Deployment
     NetStack &clientStack() { return *clientNet; }
     Toolchain &toolchain() { return *tc; }
 
+    /**
+     * The runtime policy controller, present when the config has a
+     * `controller:` section (null otherwise). Built wired to the
+     * server NIC's backlog probe; started/stopped with the pollers.
+     */
+    PolicyController *policyController() { return controller.get(); }
+
     /** Write a file into the VFS (document roots, fixtures). */
     void writeFile(const std::string &path, const std::string &content);
 
@@ -91,6 +99,7 @@ class Deployment
     std::shared_ptr<RamfsNode> fsRoot;
     std::unique_ptr<Vfs> fs;
     std::unique_ptr<LibcApi> libcApi;
+    std::unique_ptr<PolicyController> controller;
 
     bool pollersRunning = false;
     bool stopPollers = false;

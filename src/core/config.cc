@@ -368,6 +368,16 @@ const BoundaryKey boundaryKeyTable[] = {
      [](BoundaryRule &r, const std::string &v, int) {
          r.elide = elideFromName(v);
      }},
+    {"adaptive", "true | false",
+     "Opt the edge into online adaptation by the runtime policy "
+     "controller (`controller:` section): its rate / overflow / "
+     "validation knobs and batch width may be tightened or relaxed "
+     "between quiesced matrix swaps. Edges without the opt-in (and "
+     "all `deny:` edges) are never touched at runtime. "
+     "Default: false.",
+     [](BoundaryRule &r, const std::string &v, int) {
+         r.adaptive = parseBool(v);
+     }},
 };
 
 /**
@@ -413,6 +423,64 @@ const CompartmentKey compartmentKeyTable[] = {
          c.servers = static_cast<int>(
              parseCount(v, lineNo, "servers", 4));
          c.serversExplicit = true;
+     }},
+};
+
+/**
+ * The keys of the `controller:` section — same table-driven scheme as
+ * boundaryKeyTable (parser dispatch + generated reference). The
+ * section's presence enables the runtime policy controller; every key
+ * has a default.
+ */
+struct ControllerKey
+{
+    const char *key;
+    const char *values;
+    const char *doc;
+    void (*apply)(ControllerConfig &ctl, const std::string &value,
+                  int lineNo);
+};
+
+const ControllerKey controllerKeyTable[] = {
+    {"epoch", "<vcycles>",
+     "Sample window of the controller: per-boundary counter deltas "
+     "are evaluated once per this many virtual cycles. Default: "
+     "1000000.",
+     [](ControllerConfig &c, const std::string &v, int lineNo) {
+         c.epoch = parseCount(v, lineNo, "epoch", 12);
+     }},
+    {"storm_threshold", "<crossings>",
+     "Crossings per epoch on one boundary that count as a gate storm: "
+     "adaptive edges exceeding it get a `rate` budget imposed (or "
+     "halved), escalating to `overflow: fail` and entry/return "
+     "validation while the storm persists. Default: 1000.",
+     [](ControllerConfig &c, const std::string &v, int lineNo) {
+         c.stormThreshold = parseCount(v, lineNo, "storm_threshold", 12);
+     }},
+    {"calm_epochs", "<epochs>",
+     "Hysteresis: epochs a tightened boundary must stay below the "
+     "storm threshold before the controller relaxes it one step back "
+     "toward its configured policy. Default: 3.",
+     [](ControllerConfig &c, const std::string &v, int lineNo) {
+         c.calmEpochs = parseCount(v, lineNo, "calm_epochs", 6);
+     }},
+    {"deny_alert", "<witnesses>",
+     "DeniedCrossing witnesses on one edge within an epoch that raise "
+     "a `controller.alerts` alert and harden the offender's outgoing "
+     "adaptive edges to the full DSS gate flavour. `deny:` edges "
+     "themselves are never relaxed online. Default: 1.",
+     [](ControllerConfig &c, const std::string &v, int lineNo) {
+         c.denyAlert = parseCount(v, lineNo, "deny_alert", 9);
+     }},
+    {"queue_high", "<frames>",
+     "NIC backlog (frames per receive queue) above which the "
+     "controller widens the adaptive RX burst / `batch:` width, "
+     "NAPI-budget style; widths narrow once the backlog stays under "
+     "half this mark. 0 disables batch-width adaptation. Default: 8.",
+     [](ControllerConfig &c, const std::string &v, int lineNo) {
+         std::string t = trim(v);
+         c.queueHigh =
+             t == "0" ? 0 : parseCount(v, lineNo, "queue_high", 6);
      }},
 };
 
@@ -474,7 +542,8 @@ parseBoundaryRule(const std::string &key, const std::string &value,
                         rule.validateReturn || rule.scrub ||
                         rule.rate || rule.window || rule.weight ||
                         rule.overflow || rule.stackSharing ||
-                        rule.batch || rule.coalesce || rule.elide),
+                        rule.batch || rule.coalesce || rule.elide ||
+                        rule.adaptive),
              "config line ", lineNo, ": boundary rule '",
              rule.edgeName(),
              "' sets deny: true alongside other keys — a denied edge "
@@ -516,6 +585,8 @@ GatePolicy::name() const
         s += "+coalesce(" + std::to_string(coalesce) + ")";
     if (elide != GateElide::None)
         s += std::string("+elide=") + elideName(elide);
+    if (adaptive)
+        s += "+adaptive";
     return s;
 }
 
@@ -537,6 +608,7 @@ enum PolicyField
     FieldBatch,
     FieldCoalesce,
     FieldElide,
+    FieldAdaptive,
     FieldCount,
 };
 
@@ -544,7 +616,7 @@ const char *const policyFieldName[FieldCount] = {
     "gate",   "validate", "validate_return", "scrub",
     "deny",   "rate",     "window",          "weight",
     "overflow", "stack_sharing", "batch",    "coalesce",
-    "elide",
+    "elide",  "adaptive",
 };
 
 /** Which rule last set a field of a cell, and at what layer. */
@@ -654,6 +726,7 @@ GateMatrix::build(const SafetyConfig &cfg)
                     apply(FieldBatch, p.batch, r.batch);
                     apply(FieldCoalesce, p.coalesce, r.coalesce);
                     apply(FieldElide, p.elide, r.elide);
+                    apply(FieldAdaptive, p.adaptive, r.adaptive);
                 }
             }
         }
@@ -684,12 +757,29 @@ GateMatrix::at(int from, int to) const
                  static_cast<std::size_t>(to)];
 }
 
+void
+GateMatrix::set(int from, int to, const GatePolicy &p)
+{
+    panic_if(from < 0 || to < 0 ||
+                 static_cast<std::size_t>(from) >= n ||
+                 static_cast<std::size_t>(to) >= n,
+             "gate-matrix index out of range");
+    cells[static_cast<std::size_t>(from) * n +
+          static_cast<std::size_t>(to)] = p;
+}
+
 SafetyConfig
 SafetyConfig::parse(const std::string &text)
 {
     SafetyConfig cfg;
-    enum class Section { None, Compartments, Libraries, Boundaries }
-        section = Section::None;
+    enum class Section
+    {
+        None,
+        Compartments,
+        Libraries,
+        Boundaries,
+        Controller,
+    } section = Section::None;
     CompartmentSpec *current = nullptr;
 
     int lineNo = 0;
@@ -713,6 +803,14 @@ SafetyConfig::parse(const std::string &text)
         if (line == "boundaries:") {
             section = Section::Boundaries;
             current = nullptr;
+            continue;
+        }
+        if (line == "controller:") {
+            // Presence enables the controller, defaults and all.
+            section = Section::Controller;
+            current = nullptr;
+            if (!cfg.controller)
+                cfg.controller = ControllerConfig{};
             continue;
         }
 
@@ -781,6 +879,19 @@ SafetyConfig::parse(const std::string &text)
                      ": boundaries entries are '- from -> to: {...}'");
             cfg.boundaries.push_back(
                 parseBoundaryRule(key, value, lineNo));
+        } else if (section == Section::Controller) {
+            fatal_if(isItem, "config line ", lineNo,
+                     ": controller entries are plain 'key: value'");
+            bool known = false;
+            for (const ControllerKey &ck : controllerKeyTable) {
+                if (key == ck.key) {
+                    ck.apply(*cfg.controller, value, lineNo);
+                    known = true;
+                    break;
+                }
+            }
+            fatal_if(!known, "config line ", lineNo,
+                     ": unknown controller key '", key, "'");
         } else if (section == Section::Libraries) {
             if (isItem) {
                 fatal_if(value.empty(), "config line ", lineNo,
@@ -869,6 +980,18 @@ SafetyConfig::toText() const
         oss << "cores: " << cores << "\n";
     if (steering != NicSteering::Rss)
         oss << "steering: " << steeringName(steering) << "\n";
+    if (controller) {
+        // All keys are serialized explicitly: section presence alone
+        // enables the controller, so a default-valued key costs
+        // nothing and the round trip stays field-exact.
+        oss << "controller:\n";
+        oss << "  epoch: " << controller->epoch << "\n";
+        oss << "  storm_threshold: " << controller->stormThreshold
+            << "\n";
+        oss << "  calm_epochs: " << controller->calmEpochs << "\n";
+        oss << "  deny_alert: " << controller->denyAlert << "\n";
+        oss << "  queue_high: " << controller->queueHigh << "\n";
+    }
     if (!boundaries.empty()) {
         auto quoted = [](const std::string &s) {
             return s == "*" ? std::string("'*'") : s;
@@ -942,6 +1065,10 @@ SafetyConfig::toText() const
             if (r.elide) {
                 sep();
                 oss << "elide: " << elideName(*r.elide);
+            }
+            if (r.adaptive) {
+                sep();
+                oss << "adaptive: " << (*r.adaptive ? "true" : "false");
             }
             oss << "}\n";
         }
@@ -1023,6 +1150,14 @@ configKeyReference()
                        "conflicts are rejected."});
         for (const BoundaryKey &bk : boundaryKeyTable)
             out.push_back({"boundaries", bk.key, bk.values, bk.doc});
+        out.push_back({"controller", "controller:", "",
+                       "Enables the runtime policy controller; the "
+                       "keys below nest under it, each with a usable "
+                       "default. Only boundaries opting in with "
+                       "`adaptive: true` are ever adapted, and `deny:` "
+                       "edges are never relaxed online."});
+        for (const ControllerKey &ck : controllerKeyTable)
+            out.push_back({"controller", ck.key, ck.values, ck.doc});
         out.push_back({"(top level)", "mpk_gate", "light | dss",
                        "Legacy global MPK flavour knob; desugars to a "
                        "`'*' -> '*': {gate: ...}` rule. Prefer "
@@ -1055,9 +1190,9 @@ configReferenceMarkdown()
            "if this file is\n     stale. -->\n\n";
     oss << "The safety configuration is the YAML subset of the paper "
            "(section 3.0):\na `compartments:` section, a `libraries:` "
-           "section, and an optional\n`boundaries:` section, parsed by "
-           "`SafetyConfig::parse` and serialized back\nby "
-           "`SafetyConfig::toText`.\n";
+           "section, and optional\n`boundaries:` and `controller:` "
+           "sections, parsed by `SafetyConfig::parse`\nand serialized "
+           "back by `SafetyConfig::toText`.\n";
 
     // '|' inside a table cell must be escaped or it splits the cell.
     auto cell = [](const std::string &s) {

@@ -274,6 +274,16 @@ struct GatePolicy
      */
     GateElide elide = GateElide::None;
 
+    /**
+     * Opt this edge into online policy adaptation (`adaptive:` key):
+     * the runtime PolicyController may tighten or relax its rate /
+     * overflow / validation knobs between epochs. Edges without the
+     * opt-in (and all `deny:` edges) are never touched at runtime, so
+     * an image with no adaptive edges behaves bit-identically to the
+     * static model.
+     */
+    bool adaptive = false;
+
     /** Policy name, e.g. "intel-mpk(light)" or "vm-ept+validate". */
     std::string name() const;
 
@@ -303,6 +313,7 @@ struct BoundaryRule
     std::optional<std::uint64_t> batch;    ///< `batch: N` (calls/gate)
     std::optional<std::uint64_t> coalesce; ///< `coalesce: N` (vcycles)
     std::optional<GateElide> elide; ///< `elide: validate|scrub|both|none`
+    std::optional<bool> adaptive;   ///< `adaptive: true|false`
 
     /** "from -> to", for error messages. */
     std::string edgeName() const { return from + " -> " + to; }
@@ -311,6 +322,52 @@ struct BoundaryRule
 };
 
 struct SafetyConfig;
+
+/**
+ * Runtime policy-controller parameters (`controller:` section). The
+ * section's *presence* enables the controller; every key has a usable
+ * default. The controller samples per-boundary counters once per
+ * `epoch` virtual cycles and only ever adapts boundaries that opt in
+ * with `adaptive: true` — an image without the section (or without any
+ * adaptive edge) runs the static model unchanged.
+ */
+struct ControllerConfig
+{
+    /** Sample window in virtual cycles (`epoch:` key). */
+    std::uint64_t epoch = 1'000'000;
+
+    /**
+     * Crossings per epoch on one boundary that count as a gate storm
+     * (`storm_threshold:` key): the controller imposes/halves a
+     * `rate` budget on adaptive edges that exceed it, escalating
+     * `overflow: fail` and entry/return validation on persistence.
+     */
+    std::uint64_t stormThreshold = 1'000;
+
+    /**
+     * Hysteresis (`calm_epochs:` key): epochs a tightened boundary
+     * must stay below the storm threshold before the controller
+     * relaxes it one step back toward its configured policy.
+     */
+    std::uint64_t calmEpochs = 3;
+
+    /**
+     * DeniedCrossing witnesses on one edge within an epoch that raise
+     * a `controller.alerts` alert and harden the offender's outgoing
+     * adaptive edges to the full DSS flavour (`deny_alert:` key).
+     */
+    std::uint64_t denyAlert = 1;
+
+    /**
+     * NIC backlog (frames per queue) above which the controller widens
+     * the adaptive RX burst / `batch:` width, NAPI-budget style
+     * (`queue_high:` key). Widths narrow again once the backlog stays
+     * under half this mark. 0 disables batch-width adaptation.
+     */
+    std::uint64_t queueHigh = 8;
+
+    bool operator==(const ControllerConfig &o) const = default;
+};
 
 /**
  * The (from, to) gate-policy matrix resolved from a configuration:
@@ -332,11 +389,35 @@ class GateMatrix
     /** Policy of the (from, to) boundary. */
     const GatePolicy &at(int from, int to) const;
 
+    /**
+     * Replace the (from, to) cell — the runtime controller's mutation
+     * primitive. Only ever applied to a *pending* copy of the matrix;
+     * the live matrix changes solely through Image::swapGateMatrix's
+     * quiesced epoch flip.
+     */
+    void set(int from, int to, const GatePolicy &p);
+
     /** Number of compartments (the matrix is size x size). */
     std::size_t size() const { return n; }
 
+    /**
+     * Swap epoch of the live matrix: 0 for the boot matrix, +1 per
+     * effective swapGateMatrix. Version bookkeeping, not policy — the
+     * equality below deliberately ignores it so a swap to an
+     * identical matrix can be detected (and elided) cheaply.
+     */
+    std::uint64_t epoch() const { return epoch_; }
+    void setEpoch(std::uint64_t e) { epoch_ = e; }
+
+    /** Policy equality: same shape, same cells (epoch ignored). */
+    bool operator==(const GateMatrix &o) const
+    {
+        return n == o.n && cells == o.cells;
+    }
+
   private:
     std::size_t n = 0;
+    std::uint64_t epoch_ = 0;
     std::vector<GatePolicy> cells; ///< row-major [from * n + to]
 };
 
@@ -386,6 +467,12 @@ struct SafetyConfig
      * cores > 1. Default RSS.
      */
     NicSteering steering = NicSteering::Rss;
+
+    /**
+     * Runtime policy controller (`controller:` section). Engaged when
+     * present; see ControllerConfig for the per-key semantics.
+     */
+    std::optional<ControllerConfig> controller;
 
     /** Parse the YAML-subset text; fatal on malformed input. */
     static SafetyConfig parse(const std::string &text);

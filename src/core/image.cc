@@ -10,7 +10,8 @@ namespace flexos {
 
 Image::Image(Machine &m, Scheduler &s, SafetyConfig config,
              const LibraryRegistry &registry)
-    : mach(m), sched(s), cfg(std::move(config)), reg(registry)
+    : mach(m), sched(s), cfg(std::move(config)), reg(registry),
+      quiesceWait(s)
 {
     // Build compartment objects (memory comes later, at boot()).
     // Key virtualization: only key-consuming compartments take a
@@ -118,10 +119,16 @@ void
 Image::enforceBoundary(int from, int to, const GatePolicy &pol)
 {
     if (pol.deny) {
+        const std::string &fromName =
+            cfg.compartments[static_cast<std::size_t>(from)].name;
+        const std::string &toName =
+            cfg.compartments[static_cast<std::size_t>(to)].name;
         mach.bump("gate.denied");
-        throw DeniedCrossing(
-            cfg.compartments[static_cast<std::size_t>(from)].name,
-            cfg.compartments[static_cast<std::size_t>(to)].name);
+        // Per-edge witness: the runtime controller's deny-alert rule
+        // needs to know WHICH edge is being probed, not just that
+        // some denied crossing happened somewhere.
+        mach.bump("gate.denied." + fromName + "->" + toName);
+        throw DeniedCrossing(fromName, toName);
     }
     if (!pol.rate)
         return;
@@ -152,6 +159,13 @@ Image::enforceBoundary(int from, int to, const GatePolicy &pol)
         // for QoS tuning (which `weight:` to raise).
         mach.bump("gate.throttled." +
                   cfg.compartments[static_cast<std::size_t>(from)].name);
+        // Per-edge breakdown: the controller's relax rule reads this
+        // to see whether a tightened budget still actively constrains.
+        mach.bump(
+            "gate.throttled." +
+            cfg.compartments[static_cast<std::size_t>(from)].name +
+            "->" +
+            cfg.compartments[static_cast<std::size_t>(to)].name);
         if (pol.overflow == RateOverflow::Fail)
             throw ThrottledCrossing(
                 cfg.compartments[static_cast<std::size_t>(from)].name,
@@ -230,6 +244,13 @@ Image::gateBatch(const std::string &calleeLib, const char *fnName,
         return;
     }
     double mult = libMultiplier(calleeLib);
+    // Pending-swap barrier, mirroring gate(): park here so the policy
+    // reference below resolves against the post-swap matrix. Once the
+    // loop starts, the reference stays valid — a swap can only proceed
+    // while this fiber is suspended, which only happens inside a
+    // crossing, where the CrossingScope holds the swap off.
+    if (swapWaiters > 0 && sched.current())
+        yieldForSwap();
     const GatePolicy &pol = policyFor(from, to);
     IsolationBackend &be = backendOf(pol.mech);
     for (std::size_t i = 0; i < bodies.size(); i += width) {
@@ -243,6 +264,7 @@ Image::gateBatch(const std::string &calleeLib, const char *fnName,
         const GatePolicy &eff = applyElision(from, to, pol, scratch);
         checkEntry(calleeLib, fnName, to, pol);
         noteCoreMigration(to);
+        CrossingScope xing(*this);
         if (k == 1) {
             be.crossCall(*this, from, to, eff, calleeLib, fnName, mult,
                          bodies[i]);
@@ -737,6 +759,149 @@ Image::linkerScript() const
         << SimStack::stackBytes << " B halves */ }\n";
     oss << "}\n";
     return oss.str();
+}
+
+void
+Image::yieldForSwap()
+{
+    // Kept out of the header's hot path: a plain cooperative yield —
+    // the swapper is runnable (or will be woken by the next drained
+    // crossing) and flips the matrix before this thread runs again.
+    mach.bump("matrix.swapYields");
+    sched.yield();
+}
+
+bool
+Image::swapGateMatrix(GateMatrix next)
+{
+    panic_if(next.size() != gates.size(),
+             "swapGateMatrix: matrix shape mismatch (", next.size(),
+             " compartments vs ", gates.size(), ")");
+
+    // Policy-identical swap: detected before any quiesce machinery
+    // engages, so it is charge-free and counter-free — the regression
+    // pin that a no-op swap is bit-identical to no swap at all.
+    if (next == gates)
+        return false;
+
+    Thread *self = sched.current();
+    int tid = self ? self->id() : -1;
+    panic_if(crossingDepth.count(tid),
+             "swapGateMatrix called from inside a gated crossing");
+
+    // The swapper's own pending batch would otherwise be flushed by a
+    // later suspension and cross under whichever matrix is live then;
+    // flush it now so its calls are charged under the epoch that
+    // queued them.
+    flushBatch();
+
+    // Quiesce: wait until no thread holds references into the live
+    // matrix (a crossing blocked in an EPT ring RPC does). New
+    // crossings park at the gate()-side barrier while swapWaiters > 0.
+    ++swapWaiters;
+    if (activeCrossings_ > 0)
+        mach.bump("matrix.quiesceWaits");
+    while (activeCrossings_ > 0) {
+        if (self) {
+            quiesceWait.wait(); // woken by the last CrossingScope
+        } else {
+            // Driver context: run the scheduler until the in-flight
+            // crossings drain on their own.
+            sched.runUntil([&] { return activeCrossings_ == 0; });
+            panic_if(activeCrossings_ > 0,
+                     "swapGateMatrix could not quiesce: a crossing is "
+                     "blocked forever (execution dried up with ",
+                     activeCrossings_, " crossings in flight)");
+        }
+    }
+    --swapWaiters;
+
+    GateMatrix old = std::move(gates);
+    gates = std::move(next);
+    gates.setEpoch(old.epoch() + 1);
+
+    // Re-prime only the buckets whose budget actually changed: an
+    // untouched boundary keeps its token level and refill timestamp
+    // across the epoch, so a swap elsewhere cannot hand it a free
+    // burst of freshly-primed tokens.
+    std::size_t n = comps.size();
+    for (std::size_t f = 0; f < n; ++f) {
+        for (std::size_t t = 0; t < n; ++t) {
+            const GatePolicy &np =
+                gates.at(static_cast<int>(f), static_cast<int>(t));
+            const GatePolicy &op =
+                old.at(static_cast<int>(f), static_cast<int>(t));
+            if (np.rate != op.rate || np.rateWindow != op.rateWindow ||
+                np.weight != op.weight)
+                gateBuckets[f * n + t] = GateBucket{};
+        }
+    }
+
+    // Elision streaks are a same-policy-run optimisation; they do not
+    // survive an epoch whose policies may differ.
+    lastBoundary.clear();
+
+    ackCoresAfterSwap();
+
+    for (auto &b : backends)
+        b->policyChanged(*this);
+
+    mach.bump("matrix.swaps");
+    mach.bump("matrix.epoch");
+    return true;
+}
+
+void
+Image::ackCoresAfterSwap()
+{
+    // A core acknowledges the new epoch by dispatching a thread after
+    // the flip (every dispatch is a policy-safe point: the thread it
+    // resumes is outside any crossing, by quiescence). Cores with no
+    // runnable work are idle — trivially at a safe point.
+    Thread *self = sched.current();
+    int selfCore = self ? mach.activeCore() : -1;
+    std::size_t cores = mach.coreCount();
+    std::vector<std::uint64_t> mark(cores);
+    for (std::size_t c = 0; c < cores; ++c)
+        mark[c] = sched.dispatchesOn(static_cast<int>(c));
+    for (std::size_t c = 0; c < cores; ++c) {
+        int core = static_cast<int>(c);
+        if (core == selfCore) {
+            // The swapper's own core acks by running this code.
+            mach.bump("matrix.coreAcks");
+            continue;
+        }
+        if (self) {
+            while (sched.coreHasRunnable(core) &&
+                   sched.dispatchesOn(core) == mark[c])
+                sched.yield();
+        } else if (sched.coreHasRunnable(core)) {
+            sched.runUntil([&] {
+                return !sched.coreHasRunnable(core) ||
+                       sched.dispatchesOn(core) != mark[c];
+            });
+        }
+        mach.bump("matrix.coreAcks");
+    }
+}
+
+Image::StatsSnapshot
+Image::snapshotStats() const
+{
+    return mach.counters();
+}
+
+Image::StatsSnapshot
+Image::statsDelta(const StatsSnapshot &before, const StatsSnapshot &now)
+{
+    StatsSnapshot out;
+    for (const auto &[key, value] : now) {
+        auto it = before.find(key);
+        std::uint64_t prev = it == before.end() ? 0 : it->second;
+        if (value > prev)
+            out[key] = value - prev;
+    }
+    return out;
 }
 
 std::map<std::pair<int, int>, Image::BoundaryStat>

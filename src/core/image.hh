@@ -211,6 +211,13 @@ class Image
             WorkMultGuard guard(mach, mult);
             return fn();
         }
+        // A pending quiesced matrix swap wins over NEW crossings:
+        // yielding here — before any policy reference is taken — lets
+        // the swapper flip at the next drained instant instead of
+        // being starved by a crossing storm. Charge-free when no swap
+        // is pending, so static images are untouched.
+        if (swapWaiters > 0 && sched.current())
+            yieldForSwap();
         // Per-boundary dispatch: the (from, to) cell of the gate
         // matrix decides how this crossing is enforced — mechanism,
         // MPK flavour, entry validation, return-side scrubbing, and
@@ -224,6 +231,10 @@ class Image
         checkEntry(calleeLib, fnName, to, pol);
         noteCoreMigration(to);
         IsolationBackend &be = backendOf(pol.mech);
+        // `pol`/`eff` reference cells of the live matrix; the scope
+        // keeps swapGateMatrix from replacing it while the crossing
+        // (which may suspend inside an EPT ring RPC) is in flight.
+        CrossingScope xing(*this);
         if constexpr (std::is_void_v<R>) {
             be.crossCall(*this, from, to, eff, calleeLib, fnName, mult,
                          [&] { fn(); });
@@ -431,6 +442,51 @@ class Image
     /** The full policy matrix in force. */
     const GateMatrix &gateMatrix() const { return gates; }
 
+    /** @name Runtime policy swaps (the controller's apply path). @{ */
+    /**
+     * Replace the live gate matrix through a quiesced epoch flip: the
+     * caller's own pending deferred batch is flushed, the swap waits
+     * until no thread sits inside a backend transit (their gate frames
+     * reference cells of the matrix being replaced), then the matrix
+     * flips at one instant, changed-cell token buckets re-prime,
+     * every core acknowledges the epoch, and each backend's
+     * policyChanged() hook runs. `deny` edges and the compartment
+     * topology cannot change — only gate knobs do — so the swap never
+     * invalidates region or backend state.
+     *
+     * A policy-identical `next` is a charge- and counter-free no-op
+     * (the regression pin that a no-op swap is bit-identical to no
+     * swap), returning false. Effective swaps bump `matrix.swaps` and
+     * `matrix.epoch` and return true. Must not be called from inside
+     * a gated crossing (panics); callable from a fiber or from the
+     * driver (the latter runs the scheduler to drain crossings).
+     */
+    bool swapGateMatrix(GateMatrix next);
+
+    /** Crossings currently inside a backend transit (tests). */
+    int activeCrossings() const { return activeCrossings_; }
+    /** @} */
+
+    /** @name Windowed statistics (the controller's sample path). @{ */
+    /** A point-in-time copy of the machine's counters. */
+    using StatsSnapshot = std::map<std::string, std::uint64_t>;
+
+    /**
+     * Snapshot every machine counter. Counters are monotonic totals;
+     * rate logic (the controller, epoch tests) must difference two
+     * snapshots with statsDelta() instead of reading totals — using
+     * totals double-counts all history before the window.
+     */
+    StatsSnapshot snapshotStats() const;
+
+    /**
+     * Per-key difference now - before, keeping only keys that moved.
+     * Keys absent from `before` count from zero.
+     */
+    static StatsSnapshot statsDelta(const StatsSnapshot &before,
+                                    const StatsSnapshot &now);
+    /** @} */
+
     Machine &machine() { return mach; }
     Scheduler &scheduler() { return sched; }
     const SafetyConfig &config() const { return cfg; }
@@ -496,12 +552,59 @@ class Image
         bool primed = false; ///< bucket starts full on first crossing
     };
 
+    /**
+     * RAII depth of crossings inside backend transits: swapGateMatrix
+     * quiesces on the global count (a crossing blocked in an EPT ring
+     * holds references into the live matrix), and the per-thread depth
+     * catches a swap attempted from inside a gated body.
+     */
+    struct CrossingScope
+    {
+        explicit CrossingScope(Image &i)
+            : img(i),
+              tid(i.sched.current() ? i.sched.current()->id() : -1)
+        {
+            ++img.activeCrossings_;
+            ++img.crossingDepth[tid];
+        }
+
+        ~CrossingScope()
+        {
+            auto it = img.crossingDepth.find(tid);
+            if (--it->second == 0)
+                img.crossingDepth.erase(it);
+            if (--img.activeCrossings_ == 0 && img.swapWaiters > 0)
+                img.quiesceWait.wakeAll();
+        }
+
+        CrossingScope(const CrossingScope &) = delete;
+        CrossingScope &operator=(const CrossingScope &) = delete;
+
+        Image &img;
+        int tid;
+    };
+
+    /** The gate()-side half of the swap barrier (out of the header's
+     *  hot path; defined with swapGateMatrix). */
+    void yieldForSwap();
+
+    /** Per-core epoch acknowledgement after a matrix flip. */
+    void ackCoresAfterSwap();
+
     Machine &mach;
     Scheduler &sched;
     SafetyConfig cfg;
     const LibraryRegistry &reg;
     /** Resolved (from, to) gate-policy matrix. */
     GateMatrix gates;
+    /** Crossings currently inside a backend transit (all threads). */
+    int activeCrossings_ = 0;
+    /** Per-thread crossing depth (self-swap detection). */
+    std::map<int, int> crossingDepth;
+    /** swapGateMatrix callers blocked on the quiesce barrier. */
+    int swapWaiters = 0;
+    /** Woken when the last in-flight crossing drains. */
+    WaitQueue quiesceWait;
 
     std::vector<std::unique_ptr<Compartment>> comps;
     std::map<std::string, int> libToComp;

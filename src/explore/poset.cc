@@ -314,7 +314,12 @@ SafetyPoset::toDot(double minPerf) const
         bool starred =
             std::find(best.begin(), best.end(), i) != best.end();
         oss << "    n" << i << " [label=\"" << nodes[i].label << "\\n"
-            << static_cast<std::uint64_t>(nodes[i].perf) << "\""
+            << static_cast<std::uint64_t>(nodes[i].perf);
+        // Audit-score axis: nodes carrying a static boundary-audit
+        // score show it next to perf (lower = cleaner boundaries).
+        if (nodes[i].auditScore >= 0)
+            oss << "\\naudit=" << nodes[i].auditScore;
+        oss << "\""
             << (starred ? ", shape=star, style=filled, fillcolor=green"
                 : nodes[i].perf < minPerf ? ", style=dashed" : "")
             << "];\n";

@@ -198,6 +198,24 @@ batchingSpace()
     return out;
 }
 
+std::vector<ConfigPoint>
+controllerSpace()
+{
+    std::vector<ConfigPoint> out;
+    for (const auto &partition : fig6Partitions()) {
+        for (bool adaptive : {false, true}) {
+            ConfigPoint p;
+            p.partition = partition;
+            p.hardening.assign(partition.size(), 0);
+            p.mechanismRank = 1; // MPK
+            p.sharingRank = 1;   // DSS
+            p.adaptive = adaptive;
+            out.push_back(std::move(p));
+        }
+    }
+    return out;
+}
+
 std::size_t
 explorePrunedProduct(
     const std::vector<ProductDimension> &dims,
@@ -498,7 +516,7 @@ toSafetyConfig(const ConfigPoint &point, const std::string &appLib)
     }
     // Vectored-crossing knobs apply image-wide: one least-specific
     // wildcard rule that every exact/deny rule above still overrides.
-    if (point.gateBatch > 1 || point.elided != 0) {
+    if (point.gateBatch > 1 || point.elided != 0 || point.adaptive) {
         std::string knobs;
         if (point.gateBatch > 1)
             knobs += "batch: " + std::to_string(point.gateBatch);
@@ -510,6 +528,11 @@ toSafetyConfig(const ConfigPoint &point, const std::string &appLib)
                       : point.elided == 1 ? "validate"
                                           : "scrub");
         }
+        if (point.adaptive) {
+            if (!knobs.empty())
+                knobs += ", ";
+            knobs += "adaptive: true";
+        }
         rules.push_back("- '*' -> '*': {" + knobs + "}");
     }
     if (!rules.empty()) {
@@ -519,6 +542,10 @@ toSafetyConfig(const ConfigPoint &point, const std::string &appLib)
     }
     if (point.cores > 1)
         cfg << "cores: " << point.cores << "\n";
+    // Controller points run the default sampling/threshold knobs —
+    // the section's presence alone enables the control plane.
+    if (point.adaptive)
+        cfg << "controller:\n";
     return SafetyConfig::parse(cfg.str());
 }
 
@@ -584,6 +611,8 @@ pointLabel(const ConfigPoint &point, const std::string &appLib)
             << (point.elided == 3   ? "both"
                 : point.elided == 1 ? "validate"
                                     : "scrub");
+    if (point.adaptive)
+        oss << " ctl";
     return oss.str();
 }
 

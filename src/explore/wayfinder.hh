@@ -83,6 +83,19 @@ requiredBlockEdges(const std::vector<int> &partition,
 std::vector<ConfigPoint> batchingSpace();
 
 /**
+ * The control-plane dimension of the configuration space: the five
+ * Figure 8 partitions (all-MPK, no hardening, DSS) crossed with the
+ * runtime policy controller {off, on}. "On" materializes a
+ * `controller:` section plus an image-wide `adaptive: true` rule, so
+ * every boundary is enrolled. Operations-only in the safety order
+ * (the controller tightens below the configured baseline and relaxes
+ * back to it, never past it): compareSafety ignores the flag, and the
+ * sweep shows what the sampling/adaptation machinery itself costs on
+ * storm-free workloads.
+ */
+std::vector<ConfigPoint> controllerSpace();
+
+/**
  * One axis of a lazily enumerated product configuration space. The
  * axis has `size` choices; `le(a, b)` is the safety partial order on
  * choice indices ("a is at most as safe as b"). Choices MUST be

@@ -271,6 +271,12 @@ class NetStack
     /** RX queues after enableRss (1 before). */
     std::size_t rxQueueCount() const { return rssQueues; }
 
+    /**
+     * Frames pending in queue q's RX ring right now — the runtime
+     * policy controller's backlog probe (batch-width adaptation).
+     */
+    std::size_t rxBacklog(std::size_t q) const { return nic.pendingIn(q); }
+
     /** The RX queue this socket's inbound segments steer to. */
     std::size_t rssQueueOf(const TcpSocket &s) const;
 

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Runtime policy controller: the online half of the FlexOS safety
+ * story. The build-time toolchain picks a gate matrix for the traffic
+ * it can predict; this control plane watches the per-boundary counters
+ * the gates already maintain and adapts the matrix — through
+ * Image::swapGateMatrix's quiesced epoch flips — when observed
+ * behaviour diverges from the configuration's assumptions.
+ *
+ * The controller is deliberately conservative:
+ *  - it only ever touches boundaries that opted in (`adaptive: true`);
+ *  - `deny:` edges are never relaxed online (a deny is a least-
+ *    privilege statement, not a performance knob);
+ *  - every tightening step is reversible, and relaxation only walks
+ *    back toward the *configured* policy, never past it;
+ *  - a swap that would change nothing is elided entirely, so images
+ *    with no adaptive boundary are bit-identical to the static model.
+ */
+
+#ifndef FLEXOS_RUNTIME_CONTROLLER_HH
+#define FLEXOS_RUNTIME_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "core/image.hh"
+
+namespace flexos {
+
+/**
+ * Samples an image's boundary counters on a fixed virtual-time epoch
+ * and applies policy deltas through quiesced gate-matrix swaps.
+ *
+ * Rules evaluated each epoch, per adaptive boundary:
+ *
+ *  - **Gate storm** (tighten): more crossings in the window than
+ *    `storm_threshold` escalates the edge one level —
+ *      level 1: impose a crossing-rate budget of the threshold per
+ *               epoch (overflow: stall — back-pressure, not failure);
+ *      level 2: overflow becomes fail (the storm persists through
+ *               back-pressure, so the caller is misbehaving);
+ *      level 3: entry and return validation are forced on (treat the
+ *               edge as attacker-facing).
+ *
+ *  - **Calm caller** (relax): a tightened edge whose caller stayed
+ *    under the threshold for `calm_epochs` consecutive epochs steps
+ *    one level back toward its configured policy. Hysteresis: any
+ *    storm resets the calm streak.
+ *
+ *  - **Deny witness** (alert + harden): `deny_alert` or more denied
+ *    crossings on any edge in one window raises an alert and forces
+ *    DSS flavour + entry validation onto the offender's *outgoing*
+ *    adaptive edges (its writable channels) — the deny edge itself is
+ *    already as tight as policy gets and is never modified.
+ *
+ *  - **Batch width** (NAPI-style): with a queue-depth probe installed,
+ *    a backlog above `queue_high` doubles the adaptive edges' `batch:`
+ *    width (cap 16); an idle probe halves it back toward the
+ *    configured width. Each applied change counts in
+ *    `gate.batchWidthChanges`.
+ *
+ * Counters: controller.epochs, controller.tightens, controller.relaxes,
+ * controller.alerts, gate.batchWidthChanges (plus matrix.swaps /
+ * matrix.epoch from the swap path itself).
+ */
+class PolicyController
+{
+  public:
+    /** Hard cap for adaptive `batch:` widening. */
+    static constexpr std::uint64_t maxBatchWidth = 16;
+
+    PolicyController(Image &img, ControllerConfig cfg);
+    ~PolicyController();
+
+    PolicyController(const PolicyController &) = delete;
+    PolicyController &operator=(const PolicyController &) = delete;
+
+    /**
+     * Optional NIC backlog probe (frames pending across RX queues).
+     * Installed by the deployment; when absent the batch-width rule
+     * is inert.
+     */
+    std::function<std::uint64_t()> queueDepthProbe;
+
+    /**
+     * Spawn the sampling thread: sleeps `epoch` virtual ns, runs
+     * step(), repeats. The thread is free-running (control-plane work
+     * models a host core outside the measured guest).
+     */
+    void start();
+
+    /** Stop and join the sampling thread. */
+    void stop();
+
+    /**
+     * Evaluate one epoch now, in the calling context: sample the
+     * counter window, run every rule, and apply the resulting matrix
+     * through a quiesced swap. Exposed for tests and driver-context
+     * closed loops; start() calls it on the sampling cadence.
+     * @return true if a swap was applied (some policy changed).
+     */
+    bool step();
+
+    /** Epochs evaluated so far. */
+    std::uint64_t epochs() const { return epochCount; }
+
+  private:
+    /** Per-adaptive-boundary escalation state. */
+    struct EdgeState
+    {
+        GatePolicy baseline;      ///< the configured (build-time) policy
+        int level = 0;            ///< 0 = baseline .. 3 = max escalation
+        std::uint64_t calm = 0;   ///< consecutive under-threshold epochs
+        bool denyHardened = false; ///< deny-witness DSS+validate applied
+        std::uint64_t batch = 1;  ///< current adaptive batch width
+    };
+
+    /** Re-derive an edge's policy from its baseline and state. */
+    GatePolicy policyAt(const EdgeState &st) const;
+
+    Image &img;
+    ControllerConfig cfg;
+    Thread *thread = nullptr;
+    bool stopping = false;
+    std::uint64_t epochCount = 0;
+
+    std::map<std::pair<int, int>, EdgeState> edges;
+    /** Previous epoch's counter snapshot (windowed deltas). */
+    Image::StatsSnapshot prevStats;
+    /** Previous epoch's per-boundary crossing totals. */
+    std::map<std::pair<int, int>, std::uint64_t> prevCrossings;
+};
+
+} // namespace flexos
+
+#endif // FLEXOS_RUNTIME_CONTROLLER_HH

@@ -62,6 +62,7 @@ Thread::Thread(int id, std::string name, Entry entry,
 Scheduler::Scheduler(Machine &m) : mach(m)
 {
     runQueues.resize(m.coreCount());
+    coreDispatches.assign(m.coreCount(), 0);
 }
 
 Scheduler::~Scheduler()
@@ -248,6 +249,7 @@ Scheduler::switchTo(Thread *t)
     running = t;
     t->state_ = Thread::State::Running;
     ++switchCount;
+    ++coreDispatches[static_cast<std::size_t>(t->core)];
     if (!t->freeRunning)
         mach.consume(mach.timing.contextSwitch);
     mach.chargingEnabled = !t->freeRunning;
@@ -605,6 +607,28 @@ Scheduler::wake(Thread *t)
                            ? mach.cycles()
                            : mach.coreCycles(t->core);
     runQueues[t->core].push_back(t);
+}
+
+std::uint64_t
+Scheduler::dispatchesOn(int core) const
+{
+    panic_if(core < 0 ||
+                 static_cast<std::size_t>(core) >= coreDispatches.size(),
+             "core ", core, " out of range");
+    return coreDispatches[static_cast<std::size_t>(core)];
+}
+
+bool
+Scheduler::coreHasRunnable(int core) const
+{
+    panic_if(core < 0 ||
+                 static_cast<std::size_t>(core) >= runQueues.size(),
+             "core ", core, " out of range");
+    for (const Thread *t : runQueues[static_cast<std::size_t>(core)]) {
+        if (t->state() == Thread::State::Ready)
+            return true;
+    }
+    return false;
 }
 
 bool

@@ -267,6 +267,18 @@ class Scheduler
     /** Number of context switches performed. */
     std::uint64_t switches() const { return switchCount; }
 
+    /**
+     * Dispatches onto one core since boot: every switchTo() of a
+     * thread homed there counts. A dispatch is a policy-safe point —
+     * the thread passed through the scheduler — so quiesced epoch
+     * swaps (Image::swapGateMatrix) use the counter as the per-core
+     * acknowledgement that a core has observed the new state.
+     */
+    std::uint64_t dispatchesOn(int core) const;
+
+    /** Whether a core's run queue holds a Ready thread right now. */
+    bool coreHasRunnable(int core) const;
+
     /** Threads that have been spawned and not yet destroyed. */
     std::size_t threadCount() const { return threads.size(); }
 
@@ -310,6 +322,8 @@ class Scheduler
     std::vector<std::unique_ptr<Thread>> threads;
     /** One run queue per machine core. */
     std::vector<std::deque<Thread *>> runQueues;
+    /** Per-core dispatch counters (epoch-ack safe points). */
+    std::vector<std::uint64_t> coreDispatches;
     std::vector<std::pair<int, std::function<void(Thread &)>>>
         exitListeners;
     int nextListenerId = 1;
