@@ -18,6 +18,14 @@
  * `--controller` runs only the closed-loop section; `--json [path]`
  * additionally writes its measurements to a snapshot file (default
  * BENCH_fig07_controller.json), the regression-tracked artefact.
+ *
+ * `--attack <class|all>` replaces the storm with the flexos::adversary
+ * catalogue: each attack class is mounted round by round against a
+ * deliberately attackable config, with one controller epoch between
+ * rounds, until the class is fully contained — measuring
+ * time-to-containment (controller epochs and vcycles) per class and
+ * dumping the controller's decision trace. With `--json` the result
+ * goes to BENCH_attack.json.
  */
 
 #include <algorithm>
@@ -26,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "adversary/adversary.hh"
 #include "apps/deploy.hh"
 #include "apps/redis.hh"
 #include "explore/wayfinder.hh"
@@ -252,6 +261,284 @@ closedLoopSection(bool jsonMode, const char *jsonPath)
         emitControllerJson(jsonPath, cl);
 }
 
+// --- Adversary closed loop (`--attack`) ------------------------------
+
+/** One attack round's tally, stamped with the controller epoch. */
+struct AttackRound
+{
+    std::uint64_t epoch = 0;
+    std::size_t contained = 0;
+    std::size_t partial = 0;
+    std::size_t breached = 0;
+};
+
+/** The closed-loop record of one attack class. */
+struct AttackClassRun
+{
+    adversary::AttackClass cls = adversary::AttackClass::IllegalCrossing;
+    std::vector<AttackRound> rounds;
+    /** Scenario verdicts of the last round mounted. */
+    std::vector<adversary::AttackResult> finalResults;
+    bool contained = false; ///< a round reached full containment
+    /** Adaptation rounds (controller steps) before containment. */
+    std::size_t roundsToContain = 0;
+    /**
+     * Controller epochs elapsed while the loop ran (the free-running
+     * sampler also ticks during the attack itself, so this tracks
+     * elapsed virtual time, not adaptation count).
+     */
+    std::uint64_t epochsElapsed = 0;
+    std::uint64_t vcyclesToContain = 0;
+    std::vector<PolicyController::TraceEntry> trace;
+};
+
+/**
+ * The attackable config: Redis and its libc in `app`, the scheduler
+ * and clock in `sys`, and the network stack — the compromised
+ * compartment — alone in `att`. att -> app is denied (the deny
+ * witness the controller alerts on); att -> sys is the adaptive edge
+ * the controller hardens. The baseline att -> sys policy is chosen
+ * per class so round 0 has something to breach where the class can
+ * be closed online:
+ *
+ *  - info-leak starts from a light, unscrubbed gate (the reg-probe
+ *    leaks) — deny-hardening restores DSS + scrub + validation;
+ *  - rop-crossing starts without entry validation (gadget jumps
+ *    execute) — deny-hardening forces validation on;
+ *  - doorbell runs `sys` on vm-ept (the forged-ring surface);
+ *  - ret-corrupt and resource are contained by the baseline itself
+ *    (DSS frames, netstack bounds): time-to-containment 0.
+ */
+std::string
+attackBenchConfig(adversary::AttackClass cls)
+{
+    bool ept = cls == adversary::AttackClass::ForgedDoorbell;
+    bool leaky = cls == adversary::AttackClass::InfoLeak;
+    std::string cfg = "compartments:\n"
+                      "- app:\n"
+                      "    mechanism: intel-mpk\n"
+                      "    default: True\n"
+                      "- sys:\n";
+    cfg += ept ? "    mechanism: vm-ept\n" : "    mechanism: intel-mpk\n";
+    cfg += "- att:\n"
+           "    mechanism: intel-mpk\n"
+           "libraries:\n"
+           "- libredis: app\n"
+           "- newlib: app\n"
+           "- uksched: sys\n"
+           "- uktime: sys\n"
+           "- lwip: att\n"
+           "boundaries:\n";
+    cfg += leaky
+               ? "- att -> sys: {adaptive: true, gate: light, scrub: false}\n"
+               : "- att -> sys: {adaptive: true}\n";
+    cfg += "- att -> app: {deny: true}\n"
+           "controller:\n"
+           "  epoch: 300000\n"
+           "  storm_threshold: 100\n"
+           "  calm_epochs: 1000\n"
+           "  deny_alert: 1\n";
+    return cfg;
+}
+
+/**
+ * The attacker's probe of the closed edge, mounted once per round
+ * (every campaign in this file opens with it — see attackerLoop).
+ * The resulting gate.denied witness is what lets the controller pin
+ * the breach on `att` and deny-harden its outgoing adaptive edges;
+ * without it, classes whose scenarios never touch a denied edge
+ * (info-leak) would give the controller nothing to key on.
+ */
+void
+denyProbe(Deployment &dep, const std::string &attackerLib)
+{
+    Image &img = dep.image();
+    bool done = false;
+    img.spawnIn(attackerLib, "deny-probe", [&] {
+        try {
+            img.gate("libredis", "redis_handle_conn", [] {});
+        } catch (const DeniedCrossing &) {
+        }
+        done = true;
+    });
+    dep.scheduler().runUntil([&] { return done; });
+}
+
+/**
+ * Mount one attack class round by round with a controller epoch
+ * between rounds, until a round is fully contained (or the round cap
+ * trips). Returns the per-round tallies, the converged scorecard,
+ * and the controller's decision trace.
+ */
+AttackClassRun
+runAttackClassLoop(adversary::AttackClass cls)
+{
+    constexpr int maxRounds = 8;
+    AttackClassRun run;
+    run.cls = cls;
+
+    DeployOptions opts;
+    opts.withFs = false;
+    opts.withNet = cls == adversary::AttackClass::Resource;
+    opts.heapBytes = 2 * 1024 * 1024;
+    opts.sharedHeapBytes = 1 * 1024 * 1024;
+    Deployment dep(attackBenchConfig(cls), opts);
+    dep.start();
+
+    adversary::AttackOptions aopts;
+    aopts.attackerLib = "lwip";
+    aopts.withNet = opts.withNet;
+
+    PolicyController *ctl = dep.policyController();
+    Machine &m = dep.machine();
+    Cycles start = m.cycles();
+    std::uint64_t epoch0 = ctl->epochs();
+    for (int round = 0; round < maxRounds; ++round) {
+        adversary::AttackScorecard card =
+            adversary::runAttackClass(dep, cls, aopts);
+        run.rounds.push_back({ctl->epochs() - epoch0, card.contained(),
+                              card.partial(), card.breached()});
+        run.finalResults = card.results;
+        if (card.fullContainment()) {
+            run.contained = true;
+            run.roundsToContain = static_cast<std::size_t>(round);
+            run.epochsElapsed = ctl->epochs() - epoch0;
+            run.vcyclesToContain = m.cycles() - start;
+            break;
+        }
+        denyProbe(dep, aopts.attackerLib);
+        ctl->step();
+    }
+    run.trace.assign(ctl->trace().begin(), ctl->trace().end());
+    dep.stop();
+    return run;
+}
+
+void
+emitAttackJson(const char *path, const std::vector<AttackClassRun> &runs)
+{
+    FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "fig07_scatter: cannot write %s\n", path);
+        std::exit(2);
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"fig07_attack_closed_loop\",\n"
+                 "  \"attacker\": \"att/lwip\",\n"
+                 "  \"classes\": [\n");
+    for (std::size_t c = 0; c < runs.size(); ++c) {
+        const AttackClassRun &r = runs[c];
+        std::fprintf(f,
+                     "    {\n"
+                     "      \"class\": \"%s\",\n"
+                     "      \"contained\": %s,\n"
+                     "      \"adaptation_rounds_to_containment\": %zu,\n"
+                     "      \"controller_epochs_elapsed\": %lu,\n"
+                     "      \"vcycles_to_containment\": %lu,\n"
+                     "      \"rounds\": [\n",
+                     adversary::attackClassName(r.cls),
+                     r.contained ? "true" : "false",
+                     r.roundsToContain,
+                     static_cast<unsigned long>(r.epochsElapsed),
+                     static_cast<unsigned long>(r.vcyclesToContain));
+        for (std::size_t i = 0; i < r.rounds.size(); ++i)
+            std::fprintf(f,
+                         "        {\"epoch\": %lu, \"contained\": %zu, "
+                         "\"partial\": %zu, \"breached\": %zu}%s\n",
+                         static_cast<unsigned long>(r.rounds[i].epoch),
+                         r.rounds[i].contained, r.rounds[i].partial,
+                         r.rounds[i].breached,
+                         i + 1 < r.rounds.size() ? "," : "");
+        std::fprintf(f,
+                     "      ],\n"
+                     "      \"final_scenarios\": [\n");
+        for (std::size_t i = 0; i < r.finalResults.size(); ++i) {
+            const adversary::AttackResult &s = r.finalResults[i];
+            std::fprintf(
+                f,
+                "        {\"scenario\": \"%s\", \"outcome\": \"%s\", "
+                "\"witness\": \"%s\", \"detection_vcycles\": %lu, "
+                "\"bits_leaked\": %u, \"entropy_defeated\": %u}%s\n",
+                s.scenario.c_str(), adversary::outcomeName(s.outcome),
+                s.witness.c_str(),
+                static_cast<unsigned long>(s.detectionCycles),
+                s.bitsLeaked, s.entropyDefeated,
+                i + 1 < r.finalResults.size() ? "," : "");
+        }
+        std::fprintf(f,
+                     "      ],\n"
+                     "      \"controller_trace\": [\n");
+        for (std::size_t i = 0; i < r.trace.size(); ++i)
+            std::fprintf(
+                f,
+                "        {\"epoch\": %lu, \"rule\": \"%s\", "
+                "\"edge\": \"%s\", \"level\": %d}%s\n",
+                static_cast<unsigned long>(r.trace[i].epoch),
+                r.trace[i].rule.c_str(), r.trace[i].edge.c_str(),
+                r.trace[i].level, i + 1 < r.trace.size() ? "," : "");
+        std::fprintf(f,
+                     "      ]\n"
+                     "    }%s\n",
+                     c + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ]\n"
+                 "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+}
+
+int
+attackSection(const std::vector<adversary::AttackClass> &classes,
+              bool jsonMode, const char *jsonPath)
+{
+    std::vector<AttackClassRun> runs;
+    bool allContained = true;
+    for (adversary::AttackClass cls : classes) {
+        AttackClassRun run = runAttackClassLoop(cls);
+        std::printf("\n=== Adversary closed loop: %s (attacker: "
+                    "att/lwip) ===\n",
+                    adversary::attackClassName(cls));
+        for (std::size_t i = 0; i < run.rounds.size(); ++i)
+            std::printf("  round %zu (epoch %lu): %zu contained, %zu "
+                        "partial, %zu breached\n",
+                        i,
+                        static_cast<unsigned long>(run.rounds[i].epoch),
+                        run.rounds[i].contained, run.rounds[i].partial,
+                        run.rounds[i].breached);
+        if (run.contained)
+            std::printf("  contained after %zu adaptation round(s), "
+                        "%lu vcycles\n",
+                        run.roundsToContain,
+                        static_cast<unsigned long>(
+                            run.vcyclesToContain));
+        else
+            std::printf("  NOT contained within the round cap\n");
+        std::printf("  final scenarios:\n");
+        for (const adversary::AttackResult &s : run.finalResults)
+            std::printf("    %-26s %-9s %s\n", s.scenario.c_str(),
+                        adversary::outcomeName(s.outcome),
+                        s.witness.c_str());
+        std::printf("  controller trace (%zu decision(s)):\n",
+                    run.trace.size());
+        for (const PolicyController::TraceEntry &t : run.trace)
+            std::printf("    epoch %-3lu %-12s %-10s level %d\n",
+                        static_cast<unsigned long>(t.epoch),
+                        t.rule.c_str(), t.edge.c_str(), t.level);
+        allContained = allContained && run.contained;
+        runs.push_back(std::move(run));
+    }
+    if (jsonMode)
+        emitAttackJson(jsonPath, runs);
+    if (!allContained) {
+        std::printf("\nFAIL: some attack class was not contained\n");
+        return 1;
+    }
+    std::printf("\nevery attack class contained by the closed loop\n");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -259,10 +546,14 @@ main(int argc, char **argv)
 {
     // `--controller` runs only the closed-loop containment demo;
     // `--json [path]` also writes its snapshot file (and implies
-    // `--controller`, matching the fig06 convention).
+    // `--controller`, matching the fig06 convention). `--attack
+    // <class|all>` swaps the storm for the adversary catalogue and
+    // changes the default snapshot path to BENCH_attack.json.
     bool controllerOnly = false;
     bool jsonMode = false;
-    const char *jsonPath = "BENCH_fig07_controller.json";
+    bool attackMode = false;
+    const char *jsonPath = nullptr;
+    std::vector<adversary::AttackClass> attackClasses;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--controller") == 0) {
             controllerOnly = true;
@@ -271,14 +562,48 @@ main(int argc, char **argv)
             jsonMode = true;
             if (i + 1 < argc && argv[i + 1][0] != '-')
                 jsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--attack") == 0) {
+            controllerOnly = true;
+            attackMode = true;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "fig07_scatter: --attack needs a class "
+                             "name or 'all'\n");
+                return 2;
+            }
+            std::string name = argv[++i];
+            if (name == "all") {
+                attackClasses = adversary::allAttackClasses();
+            } else {
+                adversary::AttackClass c;
+                if (!adversary::parseAttackClass(name, c)) {
+                    std::fprintf(stderr,
+                                 "fig07_scatter: unknown attack class "
+                                 "'%s' (classes:",
+                                 name.c_str());
+                    for (adversary::AttackClass k :
+                         adversary::allAttackClasses())
+                        std::fprintf(stderr, " %s",
+                                     adversary::attackClassName(k));
+                    std::fprintf(stderr, ", or all)\n");
+                    return 2;
+                }
+                attackClasses.push_back(c);
+            }
         } else {
             std::fprintf(stderr,
                          "fig07_scatter: invalid argument '%s' "
-                         "(usage: [--controller] [--json [path]])\n",
+                         "(usage: [--controller] [--json [path]] "
+                         "[--attack <class|all>])\n",
                          argv[i]);
             return 2;
         }
     }
+    if (!jsonPath)
+        jsonPath = attackMode ? "BENCH_attack.json"
+                              : "BENCH_fig07_controller.json";
+    if (attackMode)
+        return attackSection(attackClasses, jsonMode, jsonPath);
     if (controllerOnly) {
         closedLoopSection(jsonMode, jsonPath);
         return 0;

@@ -15,15 +15,24 @@
  *    (back-pressure, `machine.stallCycles`) or fail, per `overflow:`.
  *  - `stack_sharing:` is a per-boundary strategy resolved through the
  *    same wildcard layering; the old image-global key is just the
- *    `'*' -> '*'` default. The hot app -> sys edge shares the whole
- *    stack (cheapest) while every other boundary keeps the DSS.
+ *    `'*' -> '*'` default. Every boundary here keeps the DSS: sharing
+ *    the whole stack on the hot app -> sys edge would be cheaper, but
+ *    the adversary scorecard (`--score`) rates shared frames as
+ *    corruptible/scannable from a compromised peer.
+ *
+ * Run with `--score` to deploy this config and mount the full
+ * flexos::adversary attack catalogue against it from a compromised
+ * net compartment; the process exits non-zero unless every applicable
+ * scenario is contained (the CI containment smoke).
  *
  * The config round-trips through SafetyConfig::toText() — see
  * docs/gate-policy.md for the worked version of this example.
  */
 
 #include <cstdio>
+#include <cstring>
 
+#include "adversary/adversary.hh"
 #include "analysis/audit.hh"
 #include "apps/deploy.hh"
 #include "core/dss.hh"
@@ -49,7 +58,7 @@ libraries:
 - lwip: net
 boundaries:
 - '*' -> app: {deny: true}                     # nobody calls back in
-- app -> sys: {stack_sharing: shared-stack}    # hot trusted edge
+- app -> sys: {stack_sharing: dss}             # hot edge keeps the DSS
 - sys -> net: {rate: 100, window: 1000000, overflow: stall}
 - net -> sys: {rate: 500, overflow: fail, validate: true}
 )";
@@ -57,7 +66,7 @@ boundaries:
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     DeployOptions opts;
     opts.withNet = false;
@@ -65,6 +74,31 @@ main()
     Deployment dep(leastPrivilegeConfig, opts);
     Image &img = dep.image();
     Machine &m = dep.machine();
+
+    if (argc > 1 && std::strcmp(argv[1], "--score") == 0) {
+        // Containment smoke: attack the deployed matrix from a
+        // compromised net compartment and demand full containment.
+        adversary::AttackOptions aopts;
+        aopts.attackerLib = "lwip";
+        adversary::AttackScorecard card =
+            adversary::runScorecard(dep, aopts);
+        std::printf("=== Adversary scorecard (attacker: net/lwip) "
+                    "===\n\n");
+        for (const adversary::AttackResult &r : card.results)
+            std::printf("  %-11s %-28s %-9s %s\n",
+                        adversary::attackClassName(r.cls),
+                        r.scenario.c_str(),
+                        adversary::outcomeName(r.outcome),
+                        r.witness.c_str());
+        std::printf("\n%s\n", card.summary().c_str());
+        if (!card.fullContainment()) {
+            std::printf("FAIL: configuration does not fully contain "
+                        "the attack catalogue\n");
+            return 1;
+        }
+        std::printf("full containment: yes\n");
+        return 0;
+    }
 
     std::printf("=== Least-privilege boundary rules ===\n\n");
     std::printf("gate-policy matrix (from -> to : policy):\n");
@@ -103,14 +137,15 @@ main()
     std::uint64_t denied = 0, throttleFailed = 0;
     bool done = false;
     img.spawnIn("libredis", "driver", [&] {
-        // Hot edge: frames opened behind app -> sys share the stack.
+        // Hot edge: app -> sys keeps the DSS, so frames opened behind
+        // it still split private variable from shared shadow copy.
         img.gate("uksched", "yield", [&] {
             DssFrame frame(img);
             int *x = frame.var<int>();
             img.store(x, 7);
-            std::printf("\napp -> sys frame: shadow(&x) == &x: %s "
-                        "(shared-stack boundary)\n",
-                        frame.shadow(x) == x ? "yes" : "NO");
+            std::printf("\napp -> sys frame: shadow(&x) != &x: %s "
+                        "(dss boundary)\n",
+                        frame.shadow(x) != x ? "yes" : "NO");
         });
 
         // Gate storm across the rate-limited sys -> net edge.

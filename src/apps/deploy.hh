@@ -73,6 +73,14 @@ class Deployment
     Toolchain &toolchain() { return *tc; }
 
     /**
+     * The NIC link between the stacks (endA = server side), or null
+     * without networking. Exposed for fault/attack injection: the
+     * adversary suite installs rxFilter drops here to starve the
+     * reassembly queue.
+     */
+    Link *nicLink() { return link.get(); }
+
+    /**
      * The runtime policy controller, present when the config has a
      * `controller:` section (null otherwise). Built wired to the
      * server NIC's backlog probe; started/stopped with the pollers.

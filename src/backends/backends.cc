@@ -101,8 +101,24 @@ class DomainTransition
 class ReturnCharge
 {
   public:
-    ReturnCharge(Machine &m, Cycles c) : mach(m), cost(c) {}
-    ~ReturnCharge() { mach.consume(cost); }
+    /**
+     * `scrub` is the *functional* half of the return-side register
+     * save/zero: when the policy keeps it, the callee's leavings in
+     * the machine's scratch file are wiped before the caller resumes;
+     * a policy (or elision streak) that waives the scrub leaves them
+     * readable — the register side channel the adversary measures.
+     */
+    ReturnCharge(Machine &m, Cycles c, bool scrub = false)
+        : mach(m), cost(c), doScrub(scrub)
+    {
+    }
+
+    ~ReturnCharge()
+    {
+        mach.consume(cost);
+        if (doScrub)
+            mach.scrubScratch();
+    }
 
     ReturnCharge(const ReturnCharge &) = delete;
     ReturnCharge &operator=(const ReturnCharge &) = delete;
@@ -110,6 +126,7 @@ class ReturnCharge
   private:
     Machine &mach;
     Cycles cost;
+    bool doScrub;
 };
 
 /** Single-domain backend: everything is one compartment. */
@@ -210,6 +227,9 @@ class MpkBackend : public IsolationBackend
                 m.bump("gate.mpk.dss.noscrub");
             }
             m.bump("gate.mpk.dss");
+            // The entry-side register save/zero: the callee starts
+            // from a clean scratch file (the light gate shares it).
+            m.scrubScratch();
             // Touch the per-thread compartment stack registry so the
             // target stack exists (the functional stack switch), laid
             // out under this boundary's stack-sharing policy.
@@ -218,7 +238,9 @@ class MpkBackend : public IsolationBackend
                 img.simStackFor(t->id(), to, policy.stackSharing);
         }
         img.noteCrossing(from, to);
-        ReturnCharge rc(m, returnCost);
+        ReturnCharge rc(m, returnCost,
+                        policy.flavor != MpkGateFlavor::Light &&
+                            policy.scrubReturn);
         DomainTransition dt(img, to, workMult);
         body();
     }
@@ -249,6 +271,7 @@ class MpkBackend : public IsolationBackend
                 m.bump("gate.mpk.dss.noscrub");
             }
             m.bump("gate.mpk.dss");
+            m.scrubScratch();
         }
         if (count > 1)
             m.consume(static_cast<Cycles>(count - 1) *
@@ -258,7 +281,9 @@ class MpkBackend : public IsolationBackend
             img.simStackFor(t->id(), to, policy.stackSharing);
         for (std::size_t i = 0; i < count; ++i)
             img.noteCrossing(from, to);
-        ReturnCharge rc(m, returnCost);
+        ReturnCharge rc(m, returnCost,
+                        policy.flavor != MpkGateFlavor::Light &&
+                            policy.scrubReturn);
         DomainTransition dt(img, to, workMult);
         for (std::size_t i = 0; i < count; ++i)
             bodies[i]();
@@ -402,6 +427,73 @@ class EptBackend : public IsolationBackend
                bodies, count);
     }
 
+    ForgedRpcOutcome
+    injectForgedRpc(Image &img, int to, const std::string &calleeLib,
+                    const char *fnName,
+                    const std::function<void()> &body) override
+    {
+        auto &m = img.machine();
+        if (to < 0 || static_cast<std::size_t>(to) >= vms.size() ||
+            vms[static_cast<std::size_t>(to)].shards.empty())
+            return ForgedRpcOutcome::NoRing;
+        Scheduler &sched = img.scheduler();
+        panic_if(!sched.current(),
+                 "forged RPC injection requires a thread context");
+        auto &vm = vms[static_cast<std::size_t>(to)];
+        auto &sh =
+            vm.shards[static_cast<std::size_t>(m.activeCore()) %
+                      vm.shards.size()];
+
+        // A compromised compartment writing the shared ring memory:
+        // the slot lands behind every caller-side gate check (deny,
+        // rate, checkEntry) — only the server's own re-validation
+        // stands between it and the VM.
+        bool executed = false;
+        std::function<void()> probe = [&] {
+            executed = true;
+            body();
+        };
+        Rpc rpc;
+        rpc.bodies = &probe;
+        rpc.count = 1;
+        rpc.calleeLib = &calleeLib;
+        rpc.fnName = fnName;
+        WaitQueue doneWait(sched);
+        rpc.doneWait = &doneWait;
+        sh.ring.push_back(&rpc);
+        m.bump("gate.ept.forgedRpcs");
+        sh.serverIdle->wakeOne();
+        sh.lastDoorbell = m.cycles();
+        while (!rpc.done)
+            doneWait.wait();
+        // The slot's error (CfiViolation on rejection, or whatever the
+        // payload raised) is absorbed: the adversary reads an outcome,
+        // not an exception.
+        if (executed)
+            return ForgedRpcOutcome::Executed;
+        m.bump("gate.ept.forgedRejected");
+        return ForgedRpcOutcome::Rejected;
+    }
+
+    bool
+    injectSpuriousDoorbell(Image &img, int to) override
+    {
+        auto &m = img.machine();
+        if (to < 0 || static_cast<std::size_t>(to) >= vms.size() ||
+            vms[static_cast<std::size_t>(to)].shards.empty())
+            return false;
+        auto &vm = vms[static_cast<std::size_t>(to)];
+        auto &sh =
+            vm.shards[static_cast<std::size_t>(m.activeCore()) %
+                      vm.shards.size()];
+        // A replayed interrupt with no slot behind it: the woken
+        // server observes an empty ring and re-idles (counted so the
+        // scorecard can assert the wake was absorbed, not serviced).
+        m.bump("gate.ept.spuriousDoorbells");
+        sh.serverIdle->wakeOne();
+        return true;
+    }
+
     void
     policyChanged(Image &img) override
     {
@@ -498,7 +590,7 @@ class EptBackend : public IsolationBackend
         m.bump("gate.ept");
         for (std::size_t i = 0; i < count; ++i)
             img.noteCrossing(from, to);
-        ReturnCharge rc(m, returnCost);
+        ReturnCharge rc(m, returnCost, policy.scrubReturn);
 
         Rpc rpc;
         rpc.bodies = bodies;
@@ -667,6 +759,9 @@ class EptBackend : public IsolationBackend
                     *rpc->calleeLib + "." + rpc->fnName));
             } else {
                 m.consume(m.timing.pollDispatch);
+                // Entering the VM: the server dispatches from a clean
+                // register file (the entry half of the RPC marshal).
+                m.scrubScratch();
                 // The server thread's stack in the VM follows the
                 // crossing boundary's stack-sharing policy (frames
                 // the RPC body opens resolve to it).
@@ -732,13 +827,14 @@ class CheriBackend : public IsolationBackend
         if (!policy.scrubReturn)
             returnCost -= std::min(returnCost, m.timing.registerSaveZero);
         m.bump("gate.cheri");
+        m.scrubScratch();
         // The callee's sim stack follows this boundary's
         // stack-sharing policy, as on the MPK gates.
         Thread *t = img.scheduler().current();
         if (t)
             img.simStackFor(t->id(), to, policy.stackSharing);
         img.noteCrossing(from, to);
-        ReturnCharge rc(m, returnCost);
+        ReturnCharge rc(m, returnCost, policy.scrubReturn);
         DomainTransition dt(img, to, workMult);
         body();
     }
@@ -760,6 +856,7 @@ class CheriBackend : public IsolationBackend
         if (!policy.scrubReturn)
             returnCost -= std::min(returnCost, m.timing.registerSaveZero);
         m.bump("gate.cheri");
+        m.scrubScratch();
         if (count > 1)
             m.consume(static_cast<Cycles>(count - 1) *
                       m.timing.batchSlot);
@@ -768,7 +865,7 @@ class CheriBackend : public IsolationBackend
             img.simStackFor(t->id(), to, policy.stackSharing);
         for (std::size_t i = 0; i < count; ++i)
             img.noteCrossing(from, to);
-        ReturnCharge rc(m, returnCost);
+        ReturnCharge rc(m, returnCost, policy.scrubReturn);
         DomainTransition dt(img, to, workMult);
         for (std::size_t i = 0; i < count; ++i)
             bodies[i]();
@@ -796,6 +893,9 @@ class LinuxPtBackend : public IsolationBackend
         m.consume(kpti ? m.timing.syscallKpti : m.timing.syscallNoKpti);
         m.bump("gate.syscall");
         img.noteCrossing(from, to);
+        // The kernel return path sanitizes the scratch registers, as
+        // on a real syscall boundary.
+        ReturnCharge rc(m, 0, /*scrub=*/true);
         DomainTransition dt(img, to, workMult);
         body();
     }
@@ -824,6 +924,9 @@ class Sel4IpcBackend : public IsolationBackend
         m.consume(m.timing.sel4Ipc);
         m.bump("gate.sel4ipc");
         img.noteCrossing(from, to);
+        // IPC replies carry only the message registers; everything
+        // else comes back zeroed.
+        ReturnCharge rc(m, 0, /*scrub=*/true);
         DomainTransition dt(img, to, workMult);
         body();
     }

@@ -103,6 +103,49 @@ class IsolationBackend
      */
     virtual bool checksEntryPoints() const { return false; }
 
+    /** What became of a forged RPC injected into a backend's ring. */
+    enum class ForgedRpcOutcome
+    {
+        NoRing,   ///< mechanism has no shared ring to forge into
+        Rejected, ///< server-side validation refused the slot
+        Executed, ///< the body ran in the target compartment (breach)
+    };
+
+    /**
+     * Adversary hook: inject a forged RPC slot straight into the
+     * mechanism's shared transport for compartment 'to' — bypassing
+     * every caller-side gate check — as a compromised compartment
+     * writing the ring memory would. Backends without a shared ring
+     * (MPK, CHERI, the baselines) have nothing to forge: NoRing. The
+     * EPT backend enqueues the slot and rings the doorbell; its
+     * server-side re-validation decides Rejected vs Executed.
+     */
+    virtual ForgedRpcOutcome
+    injectForgedRpc(Image &img, int to, const std::string &calleeLib,
+                    const char *fnName, const std::function<void()> &body)
+    {
+        (void)img;
+        (void)to;
+        (void)calleeLib;
+        (void)fnName;
+        (void)body;
+        return ForgedRpcOutcome::NoRing;
+    }
+
+    /**
+     * Adversary hook: ring a compartment's doorbell with no slot
+     * behind it (a replayed/spurious interrupt). Returns true if the
+     * mechanism has a doorbell to ring; servers must absorb the wake
+     * harmlessly (counted, not crashed).
+     */
+    virtual bool
+    injectSpuriousDoorbell(Image &img, int to)
+    {
+        (void)img;
+        (void)to;
+        return false;
+    }
+
     /**
      * Whether the TCB is replicated into every compartment (paper 3.1:
      * backends relying on several systems — VMs — duplicate the TCB so

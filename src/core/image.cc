@@ -8,6 +8,49 @@
 
 namespace flexos {
 
+namespace {
+
+/**
+ * splitmix64 of a compartment name: the deterministic "ASLR seed" the
+ * linker script draws layout slides from. A real loader would use a
+ * boot-time random source; the simulation keys off the name so every
+ * run of the same config produces the same (reproducible) layout while
+ * distinct compartments still land on unrelated slides.
+ */
+std::uint64_t
+layoutSeed(const std::string &name)
+{
+    std::uint64_t z = 0x9e3779b97f4a7c15ull;
+    for (unsigned char ch : name)
+        z = (z ^ ch) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+unsigned
+layoutEntropyBits(Mechanism m)
+{
+    switch (m) {
+      case Mechanism::None:
+        return 0; // one domain, one load address: nothing to slide
+      case Mechanism::IntelMpk:
+      case Mechanism::CubicleMpk:
+        return 12; // shared address space: section-level shuffle only
+      case Mechanism::VmEpt:
+        return 28; // whole guest-physical map per compartment
+      case Mechanism::Cheri:
+        return 14; // bounded caps let the loader scatter sections
+      case Mechanism::LinuxPt:
+        return 22; // per-process mmap ASLR
+      case Mechanism::Sel4Ipc:
+        return 16; // per-server vspace layout
+    }
+    return 0;
+}
+
 Image::Image(Machine &m, Scheduler &s, SafetyConfig config,
              const LibraryRegistry &registry)
     : mach(m), sched(s), cfg(std::move(config)), reg(registry),
@@ -40,6 +83,14 @@ Image::Image(Machine &m, Scheduler &s, SafetyConfig config,
             c->key = sharedProtKey;
             c->domain = Pkru::allowing({sharedProtKey});
         }
+        // Page-aligned layout slide, masked to the mechanism's entropy
+        // budget (an info leak of any section pointer reveals it all).
+        c->layoutEntropyBits = flexos::layoutEntropyBits(c->spec.mechanism);
+        c->layoutSlide = c->layoutEntropyBits == 0
+                             ? 0
+                             : (layoutSeed(c->spec.name) &
+                                ((1ull << c->layoutEntropyBits) - 1))
+                                   << 12;
         comps.push_back(std::move(c));
     }
 
@@ -262,7 +313,7 @@ Image::gateBatch(const std::string &calleeLib, const char *fnName,
             enforceBoundary(from, to, pol);
         GatePolicy scratch;
         const GatePolicy &eff = applyElision(from, to, pol, scratch);
-        checkEntry(calleeLib, fnName, to, pol);
+        checkEntry(calleeLib, fnName, from, to, pol);
         noteCoreMigration(to);
         CrossingScope xing(*this);
         if (k == 1) {
@@ -585,8 +636,8 @@ Image::currentHardening() const
 }
 
 void
-Image::checkEntry(const std::string &lib, const char *fnName, int to,
-                  const GatePolicy &pol) const
+Image::checkEntry(const std::string &lib, const char *fnName, int from,
+                  int to, const GatePolicy &pol) const
 {
     bool enforce = pol.validateEntry ||
                    backendOf(pol.mech).checksEntryPoints() ||
@@ -594,9 +645,18 @@ Image::checkEntry(const std::string &lib, const char *fnName, int to,
                        Hardening::Cfi);
     if (!enforce)
         return;
-    if (!reg.isEntryPoint(lib, fnName))
+    if (!reg.isEntryPoint(lib, fnName)) {
+        // Witness the rejection per attacked edge before raising, so
+        // the adversary scorecard (and the controller's deny-witness
+        // pass) can attribute the forged entry to its boundary.
+        mach.bump("gate.validate.reject");
+        mach.bump(
+            "gate.validate.reject." +
+            comps[static_cast<std::size_t>(from)]->spec.name + "->" +
+            comps[static_cast<std::size_t>(to)]->spec.name);
         throw CfiViolation(std::string("gate to non-entry-point ") + lib +
                            "." + fnName);
+    }
 }
 
 double
@@ -739,6 +799,11 @@ Image::linkerScript() const
             oss << "key " << int(c->key);
         oss << " mechanism " << mechanismName(c->spec.mechanism)
             << " gate " << backendFor(c->id).name() << " */\n";
+        oss << "    /*   aslr slide 0x" << std::hex << c->layoutSlide
+            << std::dec << " (" << c->layoutEntropyBits
+            << " bits entropy)"
+            << (c->layoutEntropyBits == 0 ? " -- fixed layout" : "")
+            << " */\n";
         std::string prot = c->vmPrivate
                                ? "ept vm " + std::to_string(c->id)
                                : "pkey " + std::to_string(int(c->key));

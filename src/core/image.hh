@@ -39,6 +39,17 @@ namespace flexos {
 inline constexpr ProtKey sharedProtKey = 15;
 
 /**
+ * Bits of per-compartment layout-randomization entropy a mechanism's
+ * loader grants (the linker script's ASLR slide). The numbers model
+ * how much of the address space each mechanism can rearrange: MPK
+ * compartments share one address space (section-level slide only),
+ * EPT compartments own a whole guest physical map, CHERI bounds let
+ * the loader scatter within the capability-addressable range, and
+ * the unisolated baselines slide everything or nothing together.
+ */
+unsigned layoutEntropyBits(Mechanism m);
+
+/**
  * Raised by Image::gate() when the (from, to) boundary carries
  * `deny: true`: the configuration declares the edge unreachable
  * (least-privilege call graph). Statically-known call edges are
@@ -116,6 +127,17 @@ class Compartment
 
     /** Combined hardening work multiplier (>= 1.0). */
     double hardenMultiplier = 1.0;
+
+    /**
+     * Layout randomization (linker script): the page-aligned ASLR
+     * slide this compartment's sections load at, drawn deterministically
+     * from the compartment name so runs stay reproducible, masked to
+     * the mechanism's entropy budget. An info-leak that reads a code
+     * pointer out of a shared stack defeats all `layoutEntropyBits`
+     * bits at once — the measurement the adversary suite reports.
+     */
+    std::uint64_t layoutSlide = 0;
+    unsigned layoutEntropyBits = 0;
 
     /** Hardening runtime handed to library code in this compartment. */
     HardeningContext hardening;
@@ -228,7 +250,7 @@ class Image
         GatePolicy scratch;
         const GatePolicy &eff =
             applyElision(from, to, pol, scratch);
-        checkEntry(calleeLib, fnName, to, pol);
+        checkEntry(calleeLib, fnName, from, to, pol);
         noteCoreMigration(to);
         IsolationBackend &be = backendOf(pol.mech);
         // `pol`/`eff` reference cells of the live matrix; the scope
@@ -510,8 +532,15 @@ class Image
     friend class Toolchain;
 
     int resolveCallee(const std::string &lib, int from) const;
-    void checkEntry(const std::string &lib, const char *fnName, int to,
-                    const GatePolicy &pol) const;
+    /**
+     * Entry-point validation of one crossing: a gate aimed at a
+     * non-exported symbol (a ROP-style jump into the middle of the
+     * callee) raises CfiViolation, witnessed in `gate.validate.reject`
+     * and the per-edge `gate.validate.reject.<from>-><to>` counter so
+     * the adversary scorecard can pin rejections to the attacked edge.
+     */
+    void checkEntry(const std::string &lib, const char *fnName, int from,
+                    int to, const GatePolicy &pol) const;
     /**
      * Least-privilege enforcement of one crossing: raises
      * DeniedCrossing on a denied edge, and debits the boundary's

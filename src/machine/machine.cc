@@ -70,6 +70,7 @@ Machine::setActiveCore(int core)
     prev.currentVm = currentVm;
     prev.workMultiplier = workMultiplier;
     prev.chargingEnabled = chargingEnabled;
+    prev.scratch = scratch;
 
     const CoreContext &next = cores_[core];
     cycleCount = next.cycleCount;
@@ -77,6 +78,7 @@ Machine::setActiveCore(int core)
     currentVm = next.currentVm;
     workMultiplier = next.workMultiplier;
     chargingEnabled = next.chargingEnabled;
+    scratch = next.scratch;
     active_ = core;
 }
 

@@ -12,6 +12,7 @@
 #ifndef FLEXOS_MACHINE_MACHINE_HH
 #define FLEXOS_MACHINE_MACHINE_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -61,6 +62,7 @@ struct CoreContext
     int currentVm = -1;
     double workMultiplier = 1.0;
     bool chargingEnabled = true;
+    std::array<std::uint64_t, 8> scratch{};
 };
 
 /**
@@ -191,6 +193,21 @@ class Machine
 
     /** Number of violations observed (Permissive mode keeps counting). */
     std::uint64_t violations = 0;
+    /** @} */
+
+    /** @name Scratch registers. @{ */
+    /**
+     * The active core's caller-saved scratch register file. Gates
+     * scrub it on hardened entries and on return legs whose policy
+     * keeps `scrub: true`; anything a compartment leaves behind
+     * otherwise survives the crossing — the register side channel the
+     * adversary suite's info-leak probes measure (paper 4.2: DSS
+     * save/restore vs. the light gate's bare jump).
+     */
+    std::array<std::uint64_t, 8> scratch{};
+
+    /** Zero the scratch file (the gate's register scrub). */
+    void scrubScratch() { scratch.fill(0); }
     /** @} */
 
     /** @name Statistics. @{ */

@@ -67,6 +67,16 @@ PolicyController::stop()
     thread = nullptr;
 }
 
+void
+PolicyController::record(const std::string &rule, const std::string &edge,
+                         int level)
+{
+    traceRing.push_back({epochCount, rule, edge, level});
+    if (traceRing.size() > traceCapacity)
+        traceRing.pop_front();
+    img.machine().bump("controller.trace");
+}
+
 GatePolicy
 PolicyController::policyAt(const EdgeState &st) const
 {
@@ -151,6 +161,8 @@ PolicyController::step()
             st.denyHardened = true;
             st.calm = 0;
             mach.bump("controller.tightens");
+            record("deny-harden",
+                   nameOf(pair.first) + "->" + nameOf(pair.second), -1);
         }
     }
 
@@ -164,6 +176,9 @@ PolicyController::step()
             if (st.level < 3) {
                 ++st.level;
                 mach.bump("controller.tightens");
+                record("tighten",
+                       nameOf(pair.first) + "->" + nameOf(pair.second),
+                       st.level);
             }
         } else if (st.level > 0 || st.denyHardened) {
             if (++st.calm >= cfg.calmEpochs) {
@@ -173,6 +188,9 @@ PolicyController::step()
                     st.denyHardened = false;
                 st.calm = 0;
                 mach.bump("controller.relaxes");
+                record("relax",
+                       nameOf(pair.first) + "->" + nameOf(pair.second),
+                       st.level);
             }
         }
     }
@@ -189,9 +207,15 @@ PolicyController::step()
                 st.batch = std::min<std::uint64_t>(
                     maxBatchWidth, std::max<std::uint64_t>(2, st.batch * 2));
                 mach.bump("gate.batchWidthChanges");
+                record("batch",
+                       nameOf(pair.first) + "->" + nameOf(pair.second),
+                       static_cast<int>(st.batch));
             } else if (depth == 0 && st.batch > floor) {
                 st.batch = std::max(floor, st.batch / 2);
                 mach.bump("gate.batchWidthChanges");
+                record("batch",
+                       nameOf(pair.first) + "->" + nameOf(pair.second),
+                       static_cast<int>(st.batch));
             }
         }
     }
@@ -211,7 +235,10 @@ PolicyController::step()
     }
     if (!changed)
         return false;
-    return img.swapGateMatrix(std::move(next));
+    bool swapped = img.swapGateMatrix(std::move(next));
+    if (swapped)
+        record("swap", "", 0);
+    return swapped;
 }
 
 } // namespace flexos

@@ -21,8 +21,10 @@
 #define FLEXOS_RUNTIME_CONTROLLER_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <string>
 #include <utility>
 
 #include "core/image.hh"
@@ -71,6 +73,25 @@ class PolicyController
     /** Hard cap for adaptive `batch:` widening. */
     static constexpr std::uint64_t maxBatchWidth = 16;
 
+    /** Entries the decision trace retains (oldest evicted first). */
+    static constexpr std::size_t traceCapacity = 256;
+
+    /**
+     * One controller decision, timestamped by epoch: the
+     * observability record benches dump so containment timelines can
+     * be *plotted* from the rule firings rather than inferred from
+     * counter deltas. `level` is the edge's escalation level after
+     * the decision (deny-hardening reports level -1: it is an
+     * orthogonal bit, not a ladder rung).
+     */
+    struct TraceEntry
+    {
+        std::uint64_t epoch = 0;
+        std::string rule; ///< tighten | relax | deny-harden | batch | swap
+        std::string edge; ///< "from->to", or "" for image-wide events
+        int level = 0;
+    };
+
     PolicyController(Image &img, ControllerConfig cfg);
     ~PolicyController();
 
@@ -106,7 +127,13 @@ class PolicyController
     /** Epochs evaluated so far. */
     std::uint64_t epochs() const { return epochCount; }
 
+    /** The decision trace ring (`controller.trace` counts entries). */
+    const std::deque<TraceEntry> &trace() const { return traceRing; }
+
   private:
+    /** Append to the trace ring, evicting the oldest past capacity. */
+    void record(const std::string &rule, const std::string &edge,
+                int level);
     /** Per-adaptive-boundary escalation state. */
     struct EdgeState
     {
@@ -131,6 +158,8 @@ class PolicyController
     Image::StatsSnapshot prevStats;
     /** Previous epoch's per-boundary crossing totals. */
     std::map<std::pair<int, int>, std::uint64_t> prevCrossings;
+    /** Bounded decision trace (see TraceEntry). */
+    std::deque<TraceEntry> traceRing;
 };
 
 } // namespace flexos
